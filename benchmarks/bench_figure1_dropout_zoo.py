@@ -1,0 +1,143 @@
+"""Figure 1 — the four dropout designs: granularity and dynamics.
+
+The paper's Figure 1 tabulates each design's granularity (point /
+patch / point-channel), sampling dynamics (dynamic vs static, masks
+generated offline) and admissible placement.  This bench measures all
+three properties empirically from sampled masks and regenerates the
+figure's table.
+
+Expected reproduction shape: the measured properties match Figure 1's
+rows exactly (Bernoulli point-dynamic, Block patch-dynamic, Random
+point/channel-dynamic, Masksembles point/channel-static-offline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dropout import make_dropout
+
+SHAPE = (4, 16, 12, 12)
+
+
+def sample_mask(layer, rng_seed=0):
+    """Binary keep-mask from one stochastic forward pass."""
+    x = np.ones(SHAPE, dtype=np.float32)
+    return (layer(x) != 0)
+
+
+def channel_constancy(mask) -> float:
+    """Fraction of (sample, channel) maps that are all-kept/all-dropped."""
+    flat = mask.reshape(mask.shape[0], mask.shape[1], -1)
+    constant = flat.all(axis=2) | (~flat).all(axis=2)
+    return float(constant.mean())
+
+
+def patch_clustering(mask) -> float:
+    """Mean size ratio of dropped regions vs isolated points.
+
+    Measures contiguity: for patch dropout a dropped cell's neighbours
+    are usually dropped too; for point dropout they are not.
+    """
+    dropped = ~mask
+    if not dropped.any():
+        return 0.0
+    neigh = np.zeros_like(dropped, dtype=np.int32)
+    neigh[:, :, 1:, :] += dropped[:, :, :-1, :]
+    neigh[:, :, :-1, :] += dropped[:, :, 1:, :]
+    neigh[:, :, :, 1:] += dropped[:, :, :, :-1]
+    neigh[:, :, :, :-1] += dropped[:, :, :, 1:]
+    return float(neigh[dropped].mean() / 4.0)
+
+
+def dynamics(layer) -> str:
+    """'dynamic' if consecutive passes differ, else 'static'."""
+    x = np.ones(SHAPE, dtype=np.float32)
+    a = layer(x)
+    b = layer(x)
+    return "dynamic" if not np.array_equal(a, b) else "static"
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return {code: make_dropout(code, p=0.3, rng=42, scale=2.0)
+            for code in ("B", "R", "K", "M")}
+
+
+def test_figure1_characterization(zoo, emit_table, benchmark):
+    layer_b = zoo["B"]
+    benchmark.pedantic(
+        lambda: layer_b(np.ones(SHAPE, dtype=np.float32)),
+        rounds=5, iterations=5)
+
+    rows = []
+    measured = {}
+    for code, layer in zoo.items():
+        mask = sample_mask(layer)
+        props = {
+            "dynamics": dynamics(layer),
+            "channel_constancy": channel_constancy(mask),
+            "clustering": patch_clustering(mask),
+            "fc": "FC/CONV" if type(layer).supports_fc else "CONV",
+        }
+        measured[code] = props
+        rows.append([
+            layer.design_name.capitalize(),
+            layer.granularity,
+            props["dynamics"],
+            props["fc"],
+            f"{props['channel_constancy']:.2f}",
+            f"{props['clustering']:.2f}",
+        ])
+    emit_table(
+        "figure1", "Figure 1 — dropout designs: measured properties",
+        ["Design", "Granularity", "Dynamics", "Placement",
+         "ChannelConstancy", "PatchClustering"],
+        rows)
+
+    # --- Figure-1 shape assertions ------------------------------------
+    # Dynamics row: only Masksembles is static (offline masks).
+    assert measured["B"]["dynamics"] == "dynamic"
+    assert measured["R"]["dynamics"] == "dynamic"
+    assert measured["K"]["dynamics"] == "dynamic"
+    assert measured["M"]["dynamics"] == "static"
+    # Granularity row: Masksembles is channel-constant, Bernoulli not.
+    assert measured["M"]["channel_constancy"] == 1.0
+    assert measured["B"]["channel_constancy"] < 0.2
+    # Block drops contiguous patches: clustering far above Bernoulli.
+    assert measured["K"]["clustering"] > measured["B"]["clustering"] + 0.2
+    # Placement row: Block is CONV-only.
+    assert measured["K"]["fc"] == "CONV"
+    assert measured["M"]["fc"] == "FC/CONV"
+
+
+def test_figure1_offline_mask_reuse(zoo, benchmark):
+    """Masksembles masks are generated once and reused (offline)."""
+    layer = zoo["M"]
+    x = np.ones(SHAPE, dtype=np.float32)
+    layer(x)
+    family_before = layer.masks_for(SHAPE[1]).copy()
+
+    def forward():
+        return layer(x)
+
+    benchmark.pedantic(forward, rounds=5, iterations=5)
+    family_after = layer.masks_for(SHAPE[1])
+    assert np.array_equal(family_before, family_after)
+
+
+def test_figure1_mc_sample_rotation(zoo, benchmark):
+    """Masksembles cycles its K masks with the MC sample counter."""
+    layer = make_dropout("M", rng=7, num_masks=4, scale=2.0)
+    x = np.ones(SHAPE, dtype=np.float32)
+
+    def rotate_once():
+        layer.new_sample()
+        return layer(x)
+
+    outputs = [layer(x)]
+    for _ in range(4):
+        outputs.append(rotate_once())
+    benchmark.pedantic(rotate_once, rounds=3, iterations=3)
+    # Mask 0 and mask 4 coincide (period K = 4).
+    assert np.array_equal(outputs[0], outputs[4])
+    assert not np.array_equal(outputs[0], outputs[1])

@@ -1,0 +1,100 @@
+"""Figure 5 — power breakdown of the searched designs.
+
+Paper protocol: post-place-and-route power of the Accuracy-Optimal
+(K-M-B-M) and ECE-Optimal (M-M-M-M) ResNet18 designs, split into
+static power and the dynamic components IO / Logic&Signal / DSP /
+Clocking / BRAM.  Headline observations: Logic&Signal dominates the
+dynamic power (39% / 32%) because of the comparing operations in the
+dynamic dropout layers, and Masksembles consumes more BRAM.
+
+Expected reproduction shape:
+
+* Logic&Signal is the largest dynamic component in both designs;
+* the design with dynamic dropouts (K-M-B-M) draws more total power
+  and a larger Logic&Signal share than the all-static M-M-M-M;
+* BRAM share grows with the number of Masksembles slots.
+"""
+
+import pytest
+
+from repro.hw import AcceleratorBuilder, recommended_config
+from repro.models import build_model
+from repro.search import Supernet
+
+#: The exact configurations of paper Table 2 (ResNet row).
+ACCURACY_OPTIMAL_CFG = ("K", "M", "B", "M")
+ECE_OPTIMAL_CFG = ("M", "M", "M", "M")
+
+
+@pytest.fixture(scope="module")
+def designs():
+    model = build_model("resnet18", rng=0)
+    net = Supernet(model, rng=1)
+    builder = AcceleratorBuilder(recommended_config("resnet18"))
+    acc = builder.build_for_config(net, (3, 32, 32),
+                                   ACCURACY_OPTIMAL_CFG, name="resnet18")
+    ece = builder.build_for_config(net, (3, 32, 32), ECE_OPTIMAL_CFG,
+                                   name="resnet18")
+    return acc, ece
+
+
+def test_figure5_breakdown(designs, emit_table, benchmark):
+    acc, ece = designs
+
+    from repro.hw import estimate_power
+    benchmark.pedantic(lambda: estimate_power(acc.perf), rounds=10,
+                       iterations=10)
+
+    rows = []
+    for label, design in (("Accuracy Optimal (K-M-B-M)", acc),
+                          ("ECE Optimal (M-M-M-M)", ece)):
+        p = design.power
+        shares = p.dynamic_shares()
+        rows.append([
+            label,
+            f"{p.static:.3f}",
+            f"{p.io:.3f} ({shares['IO']:.1%})",
+            f"{p.logic_signal:.3f} ({shares['Logic&Signal']:.1%})",
+            f"{p.dsp:.3f} ({shares['DSP']:.1%})",
+            f"{p.clocking:.3f} ({shares['Clocking']:.1%})",
+            f"{p.bram:.3f} ({shares['BRAM']:.1%})",
+            f"{p.dynamic:.3f}",
+            f"{p.total:.3f}",
+        ])
+    emit_table(
+        "figure5", "Figure 5 — power breakdown (watts, share of dynamic)",
+        ["Design", "Static", "IO", "Logic&Signal", "DSP", "Clocking",
+         "BRAM", "Dynamic", "Total"],
+        rows)
+
+    # --- Figure-5 shape assertions ------------------------------------
+    for design in (acc, ece):
+        shares = design.power.dynamic_shares()
+        assert shares["Logic&Signal"] == max(shares.values())
+
+    # Dynamic dropouts cost power: paper 4.378 W vs 3.905 W.
+    assert acc.power.total > ece.power.total
+    ratio = acc.power.total / ece.power.total
+    assert 1.02 < ratio < 1.5
+
+    acc_ls = acc.power.dynamic_shares()["Logic&Signal"]
+    ece_ls = ece.power.dynamic_shares()["Logic&Signal"]
+    assert acc_ls > ece_ls
+
+
+def test_figure5_masksembles_bram(designs, benchmark):
+    """More Masksembles slots -> more BRAM power share (paper Sec 4.3)."""
+    acc, ece = designs
+    benchmark.pedantic(lambda: ece.power.dynamic_shares(), rounds=10,
+                       iterations=10)
+    # M-M-M-M stores four mask families; K-M-B-M stores two.
+    assert ece.perf.resources.bram36 >= acc.perf.resources.bram36
+    assert (ece.power.dynamic_shares()["BRAM"]
+            >= acc.power.dynamic_shares()["BRAM"])
+
+
+def test_figure5_static_in_paper_band(designs, benchmark):
+    """Static power matches the paper's ~1.29 W XCKU115 figure."""
+    acc, _ = designs
+    benchmark.pedantic(lambda: acc.power.static, rounds=1, iterations=1)
+    assert acc.power.static == pytest.approx(1.29, abs=0.01)

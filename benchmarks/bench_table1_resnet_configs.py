@@ -1,0 +1,154 @@
+"""Table 1 — algorithm and hardware results of optimized configurations.
+
+Paper protocol: ResNet18 on CIFAR-10 with four dropout slots; report
+the four *uniform* baselines (All Bernoulli / Block / Random /
+Masksembles) and the four *searched* optima (Accuracy / ECE / aPE /
+Latency aims) with Accuracy, ECE, aPE, Latency and resource
+utilization (BRAM / DSP / FF).
+
+Expected reproduction shape (not absolute numbers):
+
+* each searched optimum is at least as good as every uniform baseline
+  under its own aim (paper: "all the optimal configurations can be
+  found");
+* uniform latencies order Masksembles <= Bernoulli < Random < Block;
+* resource utilization is BRAM-dominated and stable across configs.
+"""
+
+import pytest
+
+from benchmarks.conftest import EVOLUTION
+
+
+@pytest.fixture(scope="module")
+def table1(resnet_flow):
+    """Evaluate uniform baselines and run the four searches."""
+    flow = resnet_flow
+    rows = {}
+    for config in flow.state.space.uniform_configs():
+        rows[f"All {config[0]}"] = flow.evaluate_config(config)
+    searched = {}
+    for aim in ("accuracy", "ece", "ape", "latency"):
+        result = flow.search(aim, evolution=EVOLUTION)
+        searched[f"{aim.capitalize()} Optimal"] = result.best
+    return flow, rows, searched
+
+
+def _row(label, result, design_report):
+    util = design_report.utilization_percent()
+    return [
+        label,
+        result.config_string,
+        f"{result.report.accuracy_percent:.2f}",
+        f"{result.report.ece_percent:.2f}",
+        f"{result.report.ape:.3f}",
+        f"{result.latency_ms:.3f}",
+        f"{util['BRAM']:.0f}%",
+        f"{util['DSP']:.0f}%",
+        f"{util['FF']:.0f}%",
+    ]
+
+
+def test_table1_rows(table1, emit_table, benchmark):
+    flow, uniform, searched = table1
+
+    probe = ("B", "B", "B", "B")
+    saved = flow.state.evaluator._cache.get(probe)
+
+    def evaluate_once():
+        # The benchmarked kernel: one candidate evaluation (algorithmic
+        # metrics via MC dropout + GP latency), the EA's inner loop.
+        flow.state.evaluator._cache.pop(probe, None)
+        return flow.evaluate_config(probe)
+
+    benchmark.pedantic(evaluate_once, rounds=3, iterations=1)
+    # Restore the pre-benchmark result so the table and the shape
+    # assertions below see exactly what the searches saw.
+    if saved is not None:
+        flow.state.evaluator._cache[probe] = saved
+
+    rows = []
+    for label, result in uniform.items():
+        design, _ = flow.generate(result.config)
+        rows.append(_row(label, result, design.report))
+    for label, result in searched.items():
+        design, _ = flow.generate(result.config)
+        rows.append(_row(label, result, design.report))
+    emit_table(
+        "table1", "Table 1 — ResNet configurations (uniform vs searched)",
+        ["Configuration", "Dropout", "Acc(%)", "ECE(%)", "aPE(nats)",
+         "Latency(ms)", "BRAM", "DSP", "FF"],
+        rows)
+
+    # --- reproduction-shape assertions -------------------------------
+    by_code = {cfg[0]: flow.evaluate_config(cfg)
+               for cfg in flow.state.space.uniform_configs()}
+    lat = {code: r.latency_ms for code, r in by_code.items()}
+    assert lat["M"] <= lat["B"] < lat["R"] < lat["K"]
+
+    acc_best = searched["Accuracy Optimal"]
+    assert acc_best.report.accuracy >= max(
+        r.report.accuracy for r in by_code.values()) - 1e-9
+
+    ece_best = searched["Ece Optimal"]
+    assert ece_best.report.ece <= min(
+        r.report.ece for r in by_code.values()) + 1e-9
+
+    ape_best = searched["Ape Optimal"]
+    assert ape_best.report.ape >= max(
+        r.report.ape for r in by_code.values()) - 1e-9
+
+    lat_best = searched["Latency Optimal"]
+    assert lat_best.latency_ms <= min(lat.values()) + 1e-9
+
+
+def test_table1_hardware_at_paper_scale(emit_table, benchmark):
+    """Full-size ResNet18 hardware rows — the Table-1 resource shape.
+
+    Resources depend only on the architecture, so the full-size model is
+    characterized directly (no training needed): BRAM-dominated (~82%
+    in the paper), DSP around 5%, latency 15-19 ms at 181 MHz.
+    """
+    from repro.hw import AcceleratorBuilder, recommended_config
+    from repro.models import build_model
+    from repro.search import Supernet
+
+    model = build_model("resnet18", rng=0)
+    net = Supernet(model, rng=1)
+    builder = AcceleratorBuilder(recommended_config("resnet18"))
+
+    def build_one():
+        return builder.build_for_config(net, (3, 32, 32),
+                                        ("B", "B", "B", "B"))
+
+    benchmark.pedantic(build_one, rounds=3, iterations=1)
+
+    rows = []
+    reports = {}
+    for code in ("B", "K", "R", "M"):
+        design = builder.build_for_config(net, (3, 32, 32), (code,) * 4,
+                                          name="resnet18")
+        report = design.report
+        reports[code] = report
+        util = report.utilization_percent()
+        rows.append([f"All {code}", f"{report.latency_ms:.3f}",
+                     f"{util['BRAM']:.0f}%", f"{util['DSP']:.1f}%",
+                     f"{util['FF']:.0f}%",
+                     f"{report.total_power_w:.3f}"])
+    emit_table(
+        "table1_hw_fullscale",
+        "Table 1 (hardware columns) — full-size ResNet18 on XCKU115",
+        ["Configuration", "Latency(ms)", "BRAM", "DSP", "FF", "Power(W)"],
+        rows)
+
+    # Shape: BRAM-dominated, stable across configs; latency ordering.
+    utils = [r.utilization_percent() for r in reports.values()]
+    brams = [u["BRAM"] for u in utils]
+    assert max(brams) - min(brams) < 5.0
+    for u in utils:
+        assert u["BRAM"] > u["FF"] > u["DSP"]
+        assert 70.0 < u["BRAM"] < 95.0
+    lat = {c: r.latency_ms for c, r in reports.items()}
+    assert lat["M"] <= lat["B"] < lat["R"] < lat["K"]
+    # Paper factor: Block costs about 1.2x Bernoulli.
+    assert 1.05 < lat["K"] / lat["B"] < 1.4

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Session-scoped trained flows keep supernet training to one pass per
+backbone; every bench file draws from these.  Rendered tables are both
+printed to the terminal (bypassing capture) and written under
+``benchmarks/out/`` so the paper-table artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.flow import DropoutSearchFlow, FlowSpec
+from repro.search import EvolutionConfig, TrainConfig
+
+#: Output directory for rendered paper tables.
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: CI-scale evolutionary budget used across benches.
+EVOLUTION = EvolutionConfig(population_size=12, generations=6)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title,
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture()
+def emit_table(capsys):
+    """Print a table to the live terminal and persist it under out/."""
+
+    def _emit(name: str, title: str, headers, rows) -> str:
+        text = render_table(title, headers, rows)
+        os.makedirs(OUT_DIR, exist_ok=True)
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        with capsys.disabled():
+            print("\n" + text + "\n")
+        return text
+
+    return _emit
+
+
+def _build_flow(model: str, dataset: str, *, seed: int, epochs: int,
+                dataset_size: int = 700, image_size: int = 16
+                ) -> DropoutSearchFlow:
+    flow = DropoutSearchFlow(FlowSpec(
+        model=model, dataset=dataset, image_size=image_size,
+        dataset_size=dataset_size, ood_size=150, seed=seed))
+    flow.specify()
+    flow.train(TrainConfig(epochs=epochs))
+    return flow
+
+
+@pytest.fixture(scope="session")
+def lenet_flow() -> DropoutSearchFlow:
+    """Trained full-size LeNet flow on the MNIST-like task (28x28).
+
+    Table 3 compares against the paper's LeNet operating points, so
+    this flow runs the paper-scale model.
+    """
+    return _build_flow("lenet", "mnist_like", seed=7, epochs=20,
+                       image_size=28)
+
+
+@pytest.fixture(scope="session")
+def resnet_flow() -> DropoutSearchFlow:
+    """Trained slim-ResNet18 flow on the CIFAR-like task (Table 1)."""
+    return _build_flow("resnet18_slim", "cifar_like", seed=3, epochs=10)
+
+
+@pytest.fixture(scope="session")
+def vgg_flow() -> DropoutSearchFlow:
+    """Trained slim-VGG11 flow on the SVHN-like task (Table 2)."""
+    return _build_flow("vgg11_slim", "svhn_like", seed=5, epochs=10,
+                       dataset_size=500)

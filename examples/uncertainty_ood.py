@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Uncertainty estimation demo: MC dropout separates OOD from ID data.
+
+Trains a dropout-based BayesNN (via the supernet) and compares the
+predictive-entropy distributions on in-distribution test images versus
+Gaussian-noise OOD images (the paper's aPE protocol), for each uniform
+dropout design.  Reports the aPE gap and the OOD-detection AUROC per
+design — the practical payoff of reliable uncertainty estimation the
+paper's introduction motivates (silent-failure avoidance).
+
+Usage::
+
+    python examples/uncertainty_ood.py
+"""
+
+import numpy as np
+
+from repro.bayes import mc_predict, ood_auroc
+from repro.data import gaussian_noise_like, make_mnist_like, split_dataset
+from repro.models import build_model
+from repro.search import Supernet, TrainConfig, train_supernet
+
+
+def entropy_histogram(values: np.ndarray, lo: float, hi: float,
+                      bins: int = 24) -> str:
+    """One-line ASCII histogram of entropy values."""
+    counts, _ = np.histogram(values, bins=bins, range=(lo, hi))
+    peak = counts.max() or 1
+    blocks = " .:-=+*#%@"
+    return "".join(blocks[min(int(c / peak * (len(blocks) - 1)), 9)]
+                   for c in counts)
+
+
+def main() -> None:
+    dataset = make_mnist_like(900, image_size=16, rng=0).normalized()
+    splits = split_dataset(dataset, rng=1)
+    ood = gaussian_noise_like(splits.train, 200, rng=2)
+
+    model = build_model("lenet_slim", image_size=16, rng=3)
+    supernet = Supernet(model, p=0.15, scale=1.7, rng=4)
+    log = train_supernet(supernet, splits.train, TrainConfig(epochs=20),
+                         rng=5)
+    print(f"Supernet trained ({log.steps} steps, "
+          f"{log.wall_seconds:.1f}s)\n")
+
+    max_h = np.log(10)
+    print(f"{'design':<14} {'acc':>6} {'aPE(ID)':>8} {'aPE(OOD)':>9} "
+          f"{'AUROC':>6}")
+    for config in supernet.space.uniform_configs():
+        supernet.set_config(config)
+        pred_id = mc_predict(supernet, splits.test.images, 5)
+        pred_ood = mc_predict(supernet, ood.images, 5)
+        h_id = pred_id.predictive_entropy()
+        h_ood = pred_ood.predictive_entropy()
+        acc = float(
+            (pred_id.predictions() == splits.test.labels).mean())
+        score = ood_auroc(h_id, h_ood)
+        design = {"B": "Bernoulli", "R": "Random", "K": "Block",
+                  "M": "Masksembles"}[config[0]]
+        print(f"{design:<14} {acc * 100:5.1f}% {h_id.mean():8.3f} "
+              f"{h_ood.mean():9.3f} {score:6.3f}")
+        print(f"   ID  |{entropy_histogram(h_id, 0, max_h)}|")
+        print(f"   OOD |{entropy_histogram(h_ood, 0, max_h)}|")
+
+    print("\nHigher OOD entropy with low ID entropy means the BayesNN "
+          "knows what it does not know (paper Sec. 4.1 aPE metric).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package needed
+for PEP 660 editable builds (fall back with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

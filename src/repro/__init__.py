@@ -1,0 +1,34 @@
+"""repro — Hardware-aware neural dropout search (DAC 2024 reproduction).
+
+A self-contained reproduction of *"Hardware-Aware Neural Dropout Search
+for Reliable Uncertainty Prediction on FPGA"* (Zhang et al., DAC 2024):
+dropout-based Bayesian neural networks, a layer-wise dropout search
+space optimized with one-shot SPOS supernet training plus an
+evolutionary algorithm, and an FPGA accelerator-generation phase with a
+Gaussian-process hardware cost model.
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy deep-learning substrate (layers, losses, optim).
+``repro.dropout``
+    The four dropout designs: Bernoulli, Random, Block, Masksembles.
+``repro.models``
+    LeNet / VGG11 / ResNet18 with named dropout slots.
+``repro.data``
+    Synthetic MNIST/SVHN/CIFAR-like datasets plus Gaussian-noise OOD.
+``repro.bayes``
+    MC-dropout inference and uncertainty metrics (accuracy, ECE, aPE).
+``repro.search``
+    SPOS supernet + evolutionary dropout search (the paper's core).
+``repro.hw``
+    FPGA performance/resource/power simulator, fixed-point arithmetic,
+    GP latency cost model, HLS code generation, platform baselines.
+``repro.flow``
+    The four-phase pipeline: Specification -> Training -> Search ->
+    Accelerator Generation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,133 @@
+"""Calibration diagnostics and post-hoc temperature scaling.
+
+The paper's ECE objective measures calibration; this module adds the
+standard companion tooling a practitioner expects alongside it:
+
+* :func:`reliability_diagram` — the binned confidence/accuracy curve
+  underlying ECE (what the paper's ECE numbers summarize);
+* :class:`TemperatureScaler` — post-hoc temperature scaling (Guo et
+  al., 2017), the usual baseline against which searched-calibration
+  gains are judged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.nn.functional import log_softmax, softmax
+from repro.utils.validation import check_positive_int, check_same_length
+
+
+@dataclass
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    mean_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """Calibration gap |confidence - accuracy| of the bin."""
+        return abs(self.mean_confidence - self.mean_accuracy)
+
+
+def reliability_diagram(probs: np.ndarray, labels: np.ndarray, *,
+                        num_bins: int = 10) -> List[ReliabilityBin]:
+    """Binned confidence-vs-accuracy curve (the ECE decomposition).
+
+    Args:
+        probs: posterior-predictive probabilities ``(N, K)``.
+        labels: integer labels ``(N,)``.
+        num_bins: equal-width confidence bins.
+
+    Returns:
+        One :class:`ReliabilityBin` per non-degenerate definition bin
+        (empty bins are included with ``count=0`` and NaN-free zeros so
+        plots stay aligned).
+    """
+    check_positive_int(num_bins, "num_bins")
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels)
+    check_same_length(probs, labels, "probs", "labels")
+    if len(labels) == 0:
+        raise ValueError("cannot build a reliability diagram of nothing")
+    confidence = probs.max(axis=1)
+    correct = (probs.argmax(axis=1) == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_idx = np.clip(np.digitize(confidence, edges[1:-1], right=True),
+                      0, num_bins - 1)
+    bins: List[ReliabilityBin] = []
+    for b in range(num_bins):
+        members = bin_idx == b
+        count = int(members.sum())
+        if count:
+            mean_conf = float(confidence[members].mean())
+            mean_acc = float(correct[members].mean())
+        else:
+            mean_conf = 0.0
+            mean_acc = 0.0
+        bins.append(ReliabilityBin(
+            lower=float(edges[b]), upper=float(edges[b + 1]),
+            count=count, mean_confidence=mean_conf,
+            mean_accuracy=mean_acc))
+    return bins
+
+
+def ece_from_diagram(bins: List[ReliabilityBin]) -> float:
+    """Recompose ECE from a reliability diagram."""
+    total = sum(b.count for b in bins)
+    if total == 0:
+        raise ValueError("diagram has no samples")
+    return float(sum(b.count / total * b.gap for b in bins))
+
+
+class TemperatureScaler:
+    """Post-hoc temperature scaling of logits.
+
+    Fits a single temperature ``T > 0`` minimizing the NLL of
+    ``softmax(logits / T)`` on a held-out split.  ``T > 1`` softens
+    overconfident models; ``T < 1`` sharpens underconfident ones.
+    """
+
+    def __init__(self) -> None:
+        self.temperature: Optional[float] = None
+
+    def fit(self, logits: np.ndarray, labels: np.ndarray
+            ) -> "TemperatureScaler":
+        """Fit the temperature on validation logits."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        check_same_length(logits, labels, "logits", "labels")
+        if logits.ndim != 2 or len(labels) == 0:
+            raise ValueError("logits must be a non-empty (N, K) array")
+
+        idx = np.arange(len(labels))
+
+        def nll_at(log_t: float) -> float:
+            t = float(np.exp(log_t))
+            logp = log_softmax(logits / t, axis=1)
+            return float(-logp[idx, labels].mean())
+
+        result = optimize.minimize_scalar(
+            nll_at, bounds=(-4.0, 4.0), method="bounded")
+        self.temperature = float(np.exp(result.x))
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Return calibrated probabilities for ``logits``."""
+        if self.temperature is None:
+            raise RuntimeError("fit() must run before transform()")
+        return softmax(np.asarray(logits, dtype=np.float64)
+                       / self.temperature, axis=1)
+
+    def fit_transform(self, logits: np.ndarray,
+                      labels: np.ndarray) -> np.ndarray:
+        """Fit on ``(logits, labels)`` and return calibrated probs."""
+        return self.fit(logits, labels).transform(logits)

@@ -1,0 +1,111 @@
+"""Monte-Carlo dropout inference (paper Sec. 2.1.2).
+
+A dropout-based BayesNN produces its predictive distribution by running
+``T`` stochastic forward passes with dropout *enabled at inference*;
+each pass draws a fresh dropout mask (dynamic designs) or rotates to the
+next pre-generated mask (Masksembles).  The Monte-Carlo average of the
+per-pass softmax outputs approximates the Bayesian posterior predictive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dropout.base import DropoutLayer
+from repro.nn.functional import softmax
+from repro.nn.module import Module
+from repro.utils.validation import check_positive_int
+
+#: Numerical floor used inside logs.
+_EPS = 1e-12
+
+
+@dataclass
+class MCPrediction:
+    """Result of a Monte-Carlo dropout prediction.
+
+    Attributes:
+        probs: per-sample softmax outputs, shape ``(T, N, K)``.
+        mean_probs: Monte-Carlo posterior predictive, shape ``(N, K)``.
+    """
+
+    probs: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        """Number of Monte-Carlo forward passes ``T``."""
+        return self.probs.shape[0]
+
+    @property
+    def mean_probs(self) -> np.ndarray:
+        """Posterior predictive mean, shape ``(N, K)``."""
+        return self.probs.mean(axis=0)
+
+    def predictions(self) -> np.ndarray:
+        """Hard class predictions from the posterior predictive."""
+        return self.mean_probs.argmax(axis=1)
+
+    def predictive_entropy(self) -> np.ndarray:
+        """Total predictive entropy H[E[p]] per input, in nats."""
+        p = self.mean_probs
+        return -(p * np.log(p + _EPS)).sum(axis=1)
+
+    def expected_entropy(self) -> np.ndarray:
+        """Expected per-pass entropy E[H[p]] (aleatoric part), in nats."""
+        h = -(self.probs * np.log(self.probs + _EPS)).sum(axis=2)
+        return h.mean(axis=0)
+
+    def mutual_information(self) -> np.ndarray:
+        """BALD epistemic uncertainty: H[E[p]] - E[H[p]], in nats."""
+        return np.maximum(
+            self.predictive_entropy() - self.expected_entropy(), 0.0)
+
+
+def _mc_layers(model: Module):
+    """All dropout layers (directly or via slots) inside ``model``."""
+    return [m for m in model.modules() if isinstance(m, DropoutLayer)]
+
+
+def mc_predict(model: Module, images: np.ndarray, num_samples: int = 3, *,
+               batch_size: Optional[int] = None) -> MCPrediction:
+    """Run ``num_samples`` stochastic forward passes over ``images``.
+
+    The model is put in eval mode (frozen batch-norm statistics) while
+    its MC-dropout layers stay stochastic — the defining behaviour of
+    dropout-based BayesNN inference.  Static designs rotate through
+    their mask families via ``new_sample``.
+
+    Args:
+        model: network containing MC-dropout layers (possibly none, in
+            which case all passes are identical).
+        images: input batch ``(N, C, H, W)`` or features ``(N, D)``.
+        num_samples: number of Monte-Carlo passes ``T`` (the paper's
+            experiments use ``T = 3``).
+        batch_size: optional micro-batch size to bound memory.
+
+    Returns:
+        An :class:`MCPrediction` with per-pass probabilities.
+    """
+    check_positive_int(num_samples, "num_samples")
+    was_training = model.training
+    model.eval()
+    layers = _mc_layers(model)
+    for layer in layers:
+        layer.reset_samples()
+    all_probs = []
+    for _ in range(num_samples):
+        if batch_size is None:
+            logits = model(images)
+        else:
+            chunks = [model(images[i:i + batch_size])
+                      for i in range(0, images.shape[0], batch_size)]
+            logits = np.concatenate(chunks, axis=0)
+        all_probs.append(softmax(logits, axis=1))
+        for layer in layers:
+            layer.new_sample()
+    if was_training:
+        model.train()
+    return MCPrediction(probs=np.stack(all_probs, axis=0))

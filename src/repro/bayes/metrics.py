@@ -1,0 +1,150 @@
+"""Algorithmic metrics used as search objectives (paper Sec. 3.4).
+
+The paper's search aim combines four metrics::
+
+    aim = eta * Accuracy - mu * ECE + beta * aPE - lambda * Latency
+
+* **Accuracy** — fraction of correct posterior-predictive decisions,
+* **ECE** — expected calibration error (reliability-diagram binning),
+* **aPE** — average predictive entropy on *out-of-distribution* data
+  (higher is better: an uncertainty-aware model should be maximally
+  unsure about pure noise),
+* **Latency** comes from :mod:`repro.hw` and is not defined here.
+
+NLL and the Brier score are provided as supplementary calibration
+diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, check_same_length
+
+_EPS = 1e-12
+
+
+def _check_probs(probs: np.ndarray) -> np.ndarray:
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError(f"probs must be (N, K), got shape {probs.shape}")
+    if probs.size and (probs.min() < -1e-6 or probs.max() > 1 + 1e-6):
+        raise ValueError("probs must lie in [0, 1]")
+    return np.clip(probs, 0.0, 1.0)
+
+
+def accuracy(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of the posterior predictive, in ``[0, 1]``."""
+    probs = _check_probs(probs)
+    labels = np.asarray(labels)
+    check_same_length(probs, labels, "probs", "labels")
+    if len(labels) == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float((probs.argmax(axis=1) == labels).mean())
+
+
+def expected_calibration_error(probs: np.ndarray, labels: np.ndarray, *,
+                               num_bins: int = 10) -> float:
+    """Expected calibration error (ECE) in ``[0, 1]``.
+
+    Standard equal-width confidence binning: the weighted mean absolute
+    gap between per-bin confidence and per-bin accuracy.  The paper
+    reports ECE in percent; multiply by 100 for that convention.
+    """
+    check_positive_int(num_bins, "num_bins")
+    probs = _check_probs(probs)
+    labels = np.asarray(labels)
+    check_same_length(probs, labels, "probs", "labels")
+    if len(labels) == 0:
+        raise ValueError("cannot compute ECE of an empty batch")
+    confidence = probs.max(axis=1)
+    correct = (probs.argmax(axis=1) == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    # Right-closed bins, with 0.0 falling into the first bin.
+    bin_idx = np.clip(np.digitize(confidence, edges[1:-1], right=True), 0,
+                      num_bins - 1)
+    ece = 0.0
+    n = len(labels)
+    for b in range(num_bins):
+        members = bin_idx == b
+        count = int(members.sum())
+        if count == 0:
+            continue
+        gap = abs(correct[members].mean() - confidence[members].mean())
+        ece += (count / n) * gap
+    return float(ece)
+
+
+def average_predictive_entropy(probs: np.ndarray) -> float:
+    """Mean predictive entropy in nats (the paper's aPE metric).
+
+    Evaluated on OOD noise data, larger aPE indicates the model
+    correctly signals high uncertainty away from the data manifold.
+    """
+    probs = _check_probs(probs)
+    if probs.shape[0] == 0:
+        raise ValueError("cannot compute aPE of an empty batch")
+    entropy = -(probs * np.log(probs + _EPS)).sum(axis=1)
+    return float(entropy.mean())
+
+
+def negative_log_likelihood(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true labels, in nats."""
+    probs = _check_probs(probs)
+    labels = np.asarray(labels)
+    check_same_length(probs, labels, "probs", "labels")
+    if len(labels) == 0:
+        raise ValueError("cannot compute NLL of an empty batch")
+    picked = probs[np.arange(len(labels)), labels]
+    return float(-np.log(picked + _EPS).mean())
+
+
+def brier_score(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Multi-class Brier score (mean squared error against one-hot)."""
+    probs = _check_probs(probs)
+    labels = np.asarray(labels)
+    check_same_length(probs, labels, "probs", "labels")
+    if len(labels) == 0:
+        raise ValueError("cannot compute Brier score of an empty batch")
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(len(labels)), labels] = 1.0
+    return float(((probs - onehot) ** 2).sum(axis=1).mean())
+
+
+def max_entropy(num_classes: int) -> float:
+    """Entropy of the uniform distribution — the aPE upper bound."""
+    check_positive_int(num_classes, "num_classes")
+    return float(np.log(num_classes))
+
+
+def ood_auroc(scores_id: np.ndarray, scores_ood: np.ndarray) -> float:
+    """AUROC of OOD detection from uncertainty scores.
+
+    Computes the probability that a random OOD sample receives a higher
+    uncertainty score (e.g. predictive entropy) than a random
+    in-distribution sample, via the rank-sum (Mann-Whitney) statistic.
+    0.5 is chance; 1.0 is perfect separation.
+
+    Args:
+        scores_id: uncertainty scores of in-distribution inputs.
+        scores_ood: uncertainty scores of OOD inputs.
+    """
+    scores_id = np.asarray(scores_id, dtype=np.float64).ravel()
+    scores_ood = np.asarray(scores_ood, dtype=np.float64).ravel()
+    if scores_id.size == 0 or scores_ood.size == 0:
+        raise ValueError("both score sets must be non-empty")
+    combined = np.concatenate([scores_id, scores_ood])
+    # Average ranks so exact ties contribute 0.5, keeping the
+    # chance-level AUROC at exactly 0.5.
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(combined)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    for value in np.unique(combined):
+        members = combined == value
+        if members.sum() > 1:
+            ranks[members] = ranks[members].mean()
+    n_id = scores_id.size
+    n_ood = scores_ood.size
+    rank_sum_ood = ranks[n_id:].sum()
+    u = rank_sum_ood - n_ood * (n_ood + 1) / 2.0
+    return float(u / (n_id * n_ood))

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Three commands cover the common workflows without writing a script:
+
+* ``search`` — run the four-phase flow and print the searched
+  configuration(s) per aim;
+* ``generate`` — emit the HLS project for a configuration (searched or
+  user-specified);
+* ``report`` — print the csynth-style report of a configuration.
+
+Examples::
+
+    python -m repro.cli search --model lenet_slim --dataset mnist_like \\
+        --image-size 16 --aims accuracy latency
+    python -m repro.cli generate --config B-K-M --outdir gen/
+    python -m repro.cli report --model resnet18 --config M-M-M-M
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.flow import DropoutSearchFlow, FlowSpec
+from repro.search import EvolutionConfig, TrainConfig, get_aim
+from repro.search.space import config_from_string
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_flow_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="lenet_slim",
+                       help="model zoo name (default: lenet_slim)")
+        p.add_argument("--dataset", default="mnist_like",
+                       help="synthetic dataset name")
+        p.add_argument("--image-size", type=int, default=16,
+                       help="square input side (default: 16)")
+        p.add_argument("--dataset-size", type=int, default=700,
+                       help="number of synthesized images")
+        p.add_argument("--seed", type=int, default=0,
+                       help="master seed")
+        p.add_argument("--epochs", type=int, default=15,
+                       help="supernet training epochs")
+
+    p_search = sub.add_parser(
+        "search", help="run the four-phase dropout search")
+    add_flow_args(p_search)
+    p_search.add_argument(
+        "--aims", nargs="+",
+        default=["accuracy", "ece", "ape", "latency"],
+        help="aim presets to search (default: all four)")
+    p_search.add_argument("--population", type=int, default=12)
+    p_search.add_argument("--generations", type=int, default=6)
+
+    p_generate = sub.add_parser(
+        "generate", help="emit an HLS project for a configuration")
+    add_flow_args(p_generate)
+    p_generate.add_argument("--config", required=True,
+                            help="dropout configuration, e.g. B-K-M")
+    p_generate.add_argument("--outdir", default="generated_accelerator",
+                            help="output directory")
+    p_generate.add_argument("--project-name", default="myproject")
+
+    p_report = sub.add_parser(
+        "report", help="print the synthesis report of a configuration")
+    add_flow_args(p_report)
+    p_report.add_argument("--config", required=True,
+                          help="dropout configuration, e.g. M-M-M")
+    return parser
+
+
+def _make_flow(args: argparse.Namespace) -> DropoutSearchFlow:
+    flow = DropoutSearchFlow(FlowSpec(
+        model=args.model, dataset=args.dataset,
+        image_size=args.image_size, dataset_size=args.dataset_size,
+        seed=args.seed))
+    flow.specify()
+    return flow
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    flow = _make_flow(args)
+    print(f"search space: {flow.state.space}")
+    log = flow.train(TrainConfig(epochs=args.epochs))
+    print(f"supernet trained: {log.steps} steps, "
+          f"{log.wall_seconds:.1f}s")
+    evolution = EvolutionConfig(population_size=args.population,
+                                generations=args.generations)
+    for aim in args.aims:
+        result = flow.search(aim, evolution=evolution)
+        best = result.best
+        print(f"{get_aim(aim).name:<18} {best.config_string:<12} "
+              f"acc={best.report.accuracy_percent:5.1f}% "
+              f"ECE={best.report.ece_percent:5.2f}% "
+              f"aPE={best.report.ape:5.3f} "
+              f"lat={best.latency_ms:.3f}ms")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    flow = _make_flow(args)
+    config = config_from_string(args.config)
+    flow.state.space.validate(config)
+    design, project = flow.generate(config, outdir=args.outdir,
+                                    project_name=args.project_name)
+    print(f"emitted {len(project.files)} files under {args.outdir}/")
+    print(design.report.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    flow = _make_flow(args)
+    config = config_from_string(args.config)
+    flow.state.space.validate(config)
+    design, _ = flow.generate(config)
+    print(design.report.render())
+    return 0
+
+
+_COMMANDS = {
+    "search": cmd_search,
+    "generate": cmd_generate,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

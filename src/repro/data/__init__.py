@@ -1,0 +1,28 @@
+"""Synthetic datasets, loaders, splits and OOD generation."""
+
+from repro.data.dataset import DataLoader, DataSplits, Dataset, split_dataset
+from repro.data.fonts import GLYPH_SHAPE, digit_glyph, upsample_glyph
+from repro.data.ood import gaussian_noise_like
+from repro.data.synthetic import (
+    DATASET_FACTORIES,
+    make_cifar_like,
+    make_dataset,
+    make_mnist_like,
+    make_svhn_like,
+)
+
+__all__ = [
+    "DATASET_FACTORIES",
+    "DataLoader",
+    "DataSplits",
+    "Dataset",
+    "GLYPH_SHAPE",
+    "digit_glyph",
+    "gaussian_noise_like",
+    "make_cifar_like",
+    "make_dataset",
+    "make_mnist_like",
+    "make_svhn_like",
+    "split_dataset",
+    "upsample_glyph",
+]

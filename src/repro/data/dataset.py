@@ -1,0 +1,130 @@
+"""Dataset containers, splits and batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.nn.module import DTYPE
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive_int, check_same_length
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes:
+        images: float array of shape ``(N, C, H, W)``.
+        labels: int array of shape ``(N,)``.
+        name: human-readable dataset name.
+        num_classes: number of distinct classes.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=DTYPE)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(
+                f"images must be (N, C, H, W), got {self.images.shape}")
+        check_same_length(self.images, self.labels, "images", "labels")
+        check_positive_int(self.num_classes, "num_classes")
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Per-image shape ``(C, H, W)``."""
+        return self.images.shape[1:]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(self.images[indices], self.labels[indices],
+                       name=self.name, num_classes=self.num_classes)
+
+    def channel_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-channel (mean, std) over the whole dataset."""
+        mean = self.images.mean(axis=(0, 2, 3))
+        std = self.images.std(axis=(0, 2, 3))
+        return mean, np.maximum(std, 1e-6)
+
+    def normalized(self) -> "Dataset":
+        """Return a per-channel standardized copy."""
+        mean, std = self.channel_stats()
+        images = (self.images - mean[None, :, None, None]) / std[None, :, None, None]
+        return Dataset(images, self.labels, name=self.name,
+                       num_classes=self.num_classes)
+
+
+@dataclass
+class DataSplits:
+    """Train/validation/test partition of one dataset."""
+
+    train: Dataset
+    val: Dataset
+    test: Dataset
+
+
+def split_dataset(dataset: Dataset, *, val_fraction: float = 0.15,
+                  test_fraction: float = 0.15,
+                  rng: SeedLike = None) -> DataSplits:
+    """Shuffle and partition a dataset into train/val/test splits."""
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1:
+        raise ValueError(
+            f"invalid split fractions val={val_fraction}, test={test_fraction}")
+    rng = new_rng(rng)
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_val = int(round(n * val_fraction))
+    n_test = int(round(n * test_fraction))
+    val_idx = order[:n_val]
+    test_idx = order[n_val:n_val + n_test]
+    train_idx = order[n_val + n_test:]
+    return DataSplits(
+        train=dataset.subset(train_idx),
+        val=dataset.subset(val_idx),
+        test=dataset.subset(test_idx),
+    )
+
+
+class DataLoader:
+    """Mini-batch iterator with optional per-epoch shuffling.
+
+    Example::
+
+        for images, labels in DataLoader(ds, batch_size=32, rng=0):
+            ...
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, *,
+                 shuffle: bool = True, drop_last: bool = False,
+                 rng: SeedLike = None) -> None:
+        self.dataset = dataset
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.dataset.images[idx], self.dataset.labels[idx]

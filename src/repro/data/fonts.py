@@ -1,0 +1,41 @@
+"""Bitmap digit glyphs used by the procedural MNIST/SVHN-like renderers.
+
+A compact 5x7 pixel font for the digits 0-9.  Glyphs are upsampled,
+jittered and noised by :mod:`repro.data.synthetic` to produce learnable
+classification tasks without any external dataset download.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLYPH_ROWS = {
+    0: ("01110", "10001", "10011", "10101", "11001", "10001", "01110"),
+    1: ("00100", "01100", "00100", "00100", "00100", "00100", "01110"),
+    2: ("01110", "10001", "00001", "00110", "01000", "10000", "11111"),
+    3: ("01110", "10001", "00001", "00110", "00001", "10001", "01110"),
+    4: ("00010", "00110", "01010", "10010", "11111", "00010", "00010"),
+    5: ("11111", "10000", "11110", "00001", "00001", "10001", "01110"),
+    6: ("00110", "01000", "10000", "11110", "10001", "10001", "01110"),
+    7: ("11111", "00001", "00010", "00100", "01000", "01000", "01000"),
+    8: ("01110", "10001", "10001", "01110", "10001", "10001", "01110"),
+    9: ("01110", "10001", "10001", "01111", "00001", "00010", "01100"),
+}
+
+#: Glyph height and width in font pixels.
+GLYPH_SHAPE = (7, 5)
+
+
+def digit_glyph(digit: int) -> np.ndarray:
+    """Return the 7x5 binary bitmap for ``digit`` in ``0..9``."""
+    if digit not in _GLYPH_ROWS:
+        raise ValueError(f"digit must be in 0..9, got {digit}")
+    rows = _GLYPH_ROWS[digit]
+    return np.array([[int(c) for c in row] for row in rows], dtype=np.float32)
+
+
+def upsample_glyph(glyph: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upsample of a glyph by an integer ``factor``."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return np.repeat(np.repeat(glyph, factor, axis=0), factor, axis=1)

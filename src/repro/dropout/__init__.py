@@ -1,0 +1,62 @@
+"""The four MC-dropout designs of the paper (Fig. 1) plus a registry.
+
+============  =============  ===========  ==============  =========
+Design        Code (Tab. 2)  Granularity  Dynamics        Placement
+============  =============  ===========  ==============  =========
+Bernoulli     ``B``          point        dynamic         conv+fc
+Random        ``R``          point/chan   dynamic         conv+fc
+Block         ``K``          patch        dynamic         conv
+Masksembles   ``M``          point/chan   static/offline  conv+fc
+============  =============  ===========  ==============  =========
+"""
+
+from repro.dropout.base import (
+    GRANULARITY_CHANNEL,
+    GRANULARITY_PATCH,
+    GRANULARITY_POINT,
+    DropoutLayer,
+    HardwareTraits,
+)
+from repro.dropout.bernoulli import BernoulliDropout
+from repro.dropout.block import BlockDropout
+from repro.dropout.gaussian import GAUSSIAN_HW_PROFILE, GaussianDropout
+from repro.dropout.masksembles import (
+    Masksembles,
+    expected_keep_fraction,
+    generate_masks,
+)
+from repro.dropout.random_dropout import RandomDropout
+from repro.dropout.registry import (
+    ALL_CODES,
+    DROPOUT_REGISTRY,
+    codes_for_placement,
+    make_dropout,
+    register_design,
+    registered_design,
+    resolve_code,
+    unregister_design,
+)
+
+__all__ = [
+    "ALL_CODES",
+    "DROPOUT_REGISTRY",
+    "GAUSSIAN_HW_PROFILE",
+    "BernoulliDropout",
+    "BlockDropout",
+    "DropoutLayer",
+    "GRANULARITY_CHANNEL",
+    "GRANULARITY_PATCH",
+    "GRANULARITY_POINT",
+    "GaussianDropout",
+    "HardwareTraits",
+    "Masksembles",
+    "RandomDropout",
+    "codes_for_placement",
+    "expected_keep_fraction",
+    "generate_masks",
+    "make_dropout",
+    "register_design",
+    "registered_design",
+    "resolve_code",
+    "unregister_design",
+]

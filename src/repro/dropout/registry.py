@@ -1,0 +1,152 @@
+"""Registry and factory for the dropout designs.
+
+The short codes match paper Table 2: ``B`` Bernoulli Dropout, ``R``
+Random Dropout, ``K`` Block Dropout, ``M`` Masksembles.  The registry
+is *extensible* — the paper's conclusion names "incorporating
+additional dropout designs into our search space" as future work, and
+:func:`register_design` / :func:`registered_design` implement exactly
+that hook (see :mod:`repro.dropout.gaussian` for a complete example).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Type
+
+from repro.dropout.base import DropoutLayer
+from repro.dropout.bernoulli import BernoulliDropout
+from repro.dropout.block import BlockDropout
+from repro.dropout.masksembles import Masksembles
+from repro.dropout.random_dropout import RandomDropout
+from repro.utils.rng import SeedLike
+
+#: All concrete dropout designs, keyed by Table 2 code.
+DROPOUT_REGISTRY: Dict[str, Type[DropoutLayer]] = {
+    BernoulliDropout.code: BernoulliDropout,
+    RandomDropout.code: RandomDropout,
+    BlockDropout.code: BlockDropout,
+    Masksembles.code: Masksembles,
+}
+
+#: Codes in canonical order (paper Fig. 1 ordering; extensions append).
+ALL_CODES: List[str] = ["B", "R", "K", "M"]
+
+_NAME_TO_CODE: Dict[str, str] = {
+    cls.design_name: code for code, cls in DROPOUT_REGISTRY.items()
+}
+
+
+def register_design(cls: Type[DropoutLayer], *,
+                    hw_profile: Optional[Dict[str, float]] = None) -> None:
+    """Add a new dropout design to the search space.
+
+    Args:
+        cls: a :class:`DropoutLayer` subclass with unique ``code`` and
+            ``design_name`` class attributes.
+        hw_profile: optional hardware cost profile with keys
+            ``stall_cycles_per_element``, ``comparators_per_element``,
+            ``ffs_per_lane`` and ``luts_per_lane``; forwarded to
+            :func:`repro.hw.dropout_hw.register_hw_profile` so the
+            performance model can cost the new design.
+
+    Raises:
+        ValueError: if the code or name is already registered.
+    """
+    if not issubclass(cls, DropoutLayer):
+        raise TypeError(f"{cls!r} is not a DropoutLayer subclass")
+    code = cls.code
+    if code in DROPOUT_REGISTRY:
+        raise ValueError(f"design code {code!r} is already registered")
+    if cls.design_name in _NAME_TO_CODE:
+        raise ValueError(
+            f"design name {cls.design_name!r} is already registered")
+    DROPOUT_REGISTRY[code] = cls
+    ALL_CODES.append(code)
+    _NAME_TO_CODE[cls.design_name] = code
+    if hw_profile is not None:
+        from repro.hw.dropout_hw import register_hw_profile
+        register_hw_profile(code, **hw_profile)
+
+
+def unregister_design(code: str) -> None:
+    """Remove an extension design (the core four cannot be removed)."""
+    if code in ("B", "R", "K", "M"):
+        raise ValueError("the paper's core designs cannot be removed")
+    cls = DROPOUT_REGISTRY.pop(code, None)
+    if cls is None:
+        raise KeyError(f"design {code!r} is not registered")
+    ALL_CODES.remove(code)
+    _NAME_TO_CODE.pop(cls.design_name, None)
+    from repro.hw.dropout_hw import unregister_hw_profile
+    unregister_hw_profile(code)
+
+
+@contextlib.contextmanager
+def registered_design(cls: Type[DropoutLayer], *,
+                      hw_profile: Optional[Dict[str, float]] = None):
+    """Context manager that registers ``cls`` and removes it on exit."""
+    register_design(cls, hw_profile=hw_profile)
+    try:
+        yield cls
+    finally:
+        unregister_design(cls.code)
+
+
+def resolve_code(name_or_code: str) -> str:
+    """Normalize a design name or code ('bernoulli' or 'B') to its code."""
+    key = name_or_code.strip()
+    if key.upper() in DROPOUT_REGISTRY:
+        return key.upper()
+    lowered = key.lower()
+    if lowered in _NAME_TO_CODE:
+        return _NAME_TO_CODE[lowered]
+    raise KeyError(
+        f"unknown dropout design {name_or_code!r}; "
+        f"known: {sorted(DROPOUT_REGISTRY)} / {sorted(_NAME_TO_CODE)}")
+
+
+def make_dropout(name_or_code: str, *, p: float = 0.25,
+                 rng: SeedLike = None, num_masks: int = 4,
+                 scale: float = 2.0, block_size: int = 3,
+                 mc_mode: bool = True) -> DropoutLayer:
+    """Instantiate a dropout design by name or Table 2 code.
+
+    Args:
+        name_or_code: 'B'/'R'/'K'/'M' or the design name.
+        p: drop rate for the dynamic designs (ignored by Masksembles,
+            whose rate follows from ``scale``).
+        rng: seed or generator.
+        num_masks: Masksembles family size.
+        scale: Masksembles overlap control.
+        block_size: BlockDropout patch side length.
+        mc_mode: keep stochastic sampling active in eval mode.
+    """
+    code = resolve_code(name_or_code)
+    if code == "M":
+        return Masksembles(num_masks, scale=scale, rng=rng, mc_mode=mc_mode)
+    if code == "K":
+        return BlockDropout(p, block_size=block_size, rng=rng, mc_mode=mc_mode)
+    if code == "R":
+        return RandomDropout(p, rng=rng, mc_mode=mc_mode)
+    if code == "B":
+        return BernoulliDropout(p, rng=rng, mc_mode=mc_mode)
+    # Extension designs take the (p, rng, mc_mode) constructor contract.
+    return DROPOUT_REGISTRY[code](p, rng=rng, mc_mode=mc_mode)
+
+
+def codes_for_placement(placement: str) -> List[str]:
+    """Codes legal at a placement: 'conv' or 'fc' (paper Sec. 4.1).
+
+    LeNet's FC slot, for example, only admits Bernoulli and Masksembles
+    because Block dropout needs spatial patches.
+    """
+    if placement not in ("conv", "fc"):
+        raise ValueError(f"placement must be 'conv' or 'fc', got {placement!r}")
+    out = []
+    for code in ALL_CODES:
+        cls = DROPOUT_REGISTRY[code]
+        if placement == "conv" and cls.supports_conv:
+            out.append(code)
+        elif placement == "fc" and cls.supports_fc:
+            out.append(code)
+    return out

@@ -1,0 +1,113 @@
+"""Accelerator generation (Phase 4 front-end).
+
+Combines tracing, the performance model and the power model into a
+single builder, and supplies the latency oracle used during search.
+Per-model accelerator presets reproduce the paper's operating points
+(e.g. ResNet18 folded onto 552 MAC lanes ~ 276 DSPs ~ 5% of XCKU115).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hw.netlist import Netlist, trace_network
+from repro.hw.perf import AcceleratorConfig, PerfEstimate, estimate
+from repro.hw.power import PowerBreakdown, estimate_power
+from repro.hw.report import SynthesisReport
+from repro.nn.module import Module
+from repro.search.space import DropoutConfig, config_to_string
+from repro.search.supernet import Supernet
+
+#: Calibrated MAC-lane counts per backbone (paper-scale operating
+#: points: LeNet ~0.9 ms, VGG11 and ResNet18 in the 15-19 ms band).
+MODEL_PE_PRESETS: Dict[str, int] = {
+    "lenet": 8,
+    "vgg11": 360,
+    "resnet18": 552,
+}
+
+
+def recommended_config(model_name: str, *,
+                       mc_samples: int = 3,
+                       **overrides) -> AcceleratorConfig:
+    """The calibrated accelerator configuration for a known backbone.
+
+    Slim CI-scale variants (``*_slim``) share their base model's preset;
+    unknown names fall back to the generic default (64 lanes).
+    """
+    key = model_name.lower()
+    if key.endswith("_slim"):
+        key = key[: -len("_slim")]
+    pe = MODEL_PE_PRESETS.get(key, 64)
+    return AcceleratorConfig(pe=pe, mc_samples=mc_samples, **overrides)
+
+
+@dataclass
+class AcceleratorDesign:
+    """A fully characterized accelerator for one dropout configuration."""
+
+    name: str
+    dropout_config: str
+    netlist: Netlist
+    perf: PerfEstimate
+    power: PowerBreakdown
+
+    @property
+    def report(self) -> SynthesisReport:
+        """The csynth-style report of the design."""
+        return SynthesisReport(
+            design_name=self.name,
+            dropout_config=self.dropout_config,
+            perf=self.perf,
+            power=self.power,
+        )
+
+
+class AcceleratorBuilder:
+    """Builds :class:`AcceleratorDesign` objects from live models.
+
+    Args:
+        config: accelerator design knobs (see
+            :func:`recommended_config` for calibrated presets).
+    """
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
+        self.config = config or AcceleratorConfig()
+
+    def build(self, model: Module, input_shape: Tuple[int, ...], *,
+              name: str = "design",
+              dropout_config: str = "") -> AcceleratorDesign:
+        """Trace ``model`` and characterize the resulting accelerator."""
+        netlist = trace_network(model, input_shape)
+        perf = estimate(netlist, self.config)
+        power = estimate_power(perf)
+        return AcceleratorDesign(
+            name=name,
+            dropout_config=dropout_config,
+            netlist=netlist,
+            perf=perf,
+            power=power,
+        )
+
+    def build_for_config(self, supernet: Supernet,
+                         input_shape: Tuple[int, ...],
+                         config: DropoutConfig, *,
+                         name: str = "design") -> AcceleratorDesign:
+        """Activate ``config`` on the supernet and characterize it."""
+        supernet.set_config(config)
+        return self.build(supernet.model, input_shape, name=name,
+                          dropout_config=config_to_string(config))
+
+    def latency_oracle(self, supernet: Supernet,
+                       input_shape: Tuple[int, ...]):
+        """A ``config -> latency_ms`` callable for the search phase.
+
+        This is the *exact* (analytic-simulator) oracle; the GP cost
+        model of :mod:`repro.hw.cost_model` provides the fast learned
+        alternative the paper uses inside the EA loop.
+        """
+        def oracle(config: DropoutConfig) -> float:
+            design = self.build_for_config(supernet, input_shape, config)
+            return design.perf.latency_ms
+        return oracle

@@ -1,0 +1,324 @@
+"""HLS project emission — the hls4ml-style backend of Phase 4.
+
+Given a characterized :class:`~repro.hw.accelerator.AcceleratorDesign`
+(and optionally the live model for real weights), writes a complete HLS
+project directory:
+
+.. code-block:: text
+
+    <outdir>/
+      firmware/
+        defines.h  parameters.h  <project>.h  <project>.cpp
+        nnet_utils/nnet_*.h       (incl. the four dropout designs)
+        weights/w<k>.h            (quantized, size-capped)
+      tb/<project>_test.cpp
+      build_prj.tcl
+      reports/csynth.rpt          (the analytic synthesis report)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hw.accelerator import AcceleratorDesign
+from repro.hw.codegen import templates
+from repro.hw.fixed_point import FixedPointFormat
+from repro.hw.netlist import (
+    KIND_ACT,
+    KIND_BN,
+    KIND_CONV,
+    KIND_DROPOUT,
+    KIND_FLATTEN,
+    KIND_GPOOL,
+    KIND_IDENTITY,
+    KIND_LINEAR,
+    KIND_POOL,
+    LayerInfo,
+)
+from repro.nn.module import Module
+
+#: Weight arrays above this many scalars are stored as ``.npy`` next to
+#: the firmware instead of being inlined into a C header.
+MAX_INLINE_WEIGHTS = 65_536
+
+_STATIC_HEADERS = {
+    "nnet_common.h": templates.NNET_COMMON_H,
+    "nnet_dense.h": templates.NNET_DENSE_H,
+    "nnet_conv2d.h": templates.NNET_CONV2D_H,
+    "nnet_pooling.h": templates.NNET_POOLING_H,
+    "nnet_batchnorm.h": templates.NNET_BATCHNORM_H,
+    "nnet_activation.h": templates.NNET_ACTIVATION_H,
+    "nnet_dropout.h": templates.NNET_DROPOUT_H,
+}
+
+_DROPOUT_CALL = {
+    "B": "nnet::bernoulli_dropout<model_default_t, model_default_t, "
+         "config{idx}>(buf{src}, buf{dst}, lfsr_state);",
+    "R": "nnet::random_dropout<model_default_t, model_default_t, "
+         "config{idx}>(buf{src}, buf{dst}, lfsr_state, mode_state);",
+    "K": "nnet::block_dropout<model_default_t, model_default_t, "
+         "config{idx}>(buf{src}, buf{dst}, lfsr_state);",
+    "M": "nnet::masksembles_dropout<model_default_t, model_default_t, "
+         "config{idx}>(buf{src}, buf{dst}, mask_rom_{idx}, t);",
+    "G": "nnet::gaussian_dropout<model_default_t, model_default_t, "
+         "config{idx}>(buf{src}, buf{dst}, lfsr_state);",
+}
+
+
+@dataclass
+class EmittedProject:
+    """Paths and metadata of an emitted HLS project."""
+
+    root: str
+    project_name: str
+    files: List[str] = field(default_factory=list)
+
+    def relative_files(self) -> List[str]:
+        """Emitted files relative to the project root."""
+        return [os.path.relpath(f, self.root) for f in self.files]
+
+
+class HLSEmitter:
+    """Writes an HLS project for one accelerator design.
+
+    Args:
+        project_name: base name of the generated top function/files.
+    """
+
+    def __init__(self, project_name: str = "myproject") -> None:
+        if not project_name.isidentifier():
+            raise ValueError(
+                f"project_name must be a C identifier, got "
+                f"{project_name!r}")
+        self.project_name = project_name
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def emit(self, design: AcceleratorDesign, outdir: str, *,
+             model: Optional[Module] = None) -> EmittedProject:
+        """Write the complete project under ``outdir``."""
+        project = EmittedProject(root=outdir, project_name=self.project_name)
+        fw = os.path.join(outdir, "firmware")
+        os.makedirs(os.path.join(fw, "nnet_utils"), exist_ok=True)
+        os.makedirs(os.path.join(fw, "weights"), exist_ok=True)
+        os.makedirs(os.path.join(outdir, "tb"), exist_ok=True)
+        os.makedirs(os.path.join(outdir, "reports"), exist_ok=True)
+
+        fmt = design.perf.config.fixed_point
+        self._write(project, os.path.join(fw, "defines.h"),
+                    self._render_defines(design, fmt))
+        self._write(project, os.path.join(fw, "parameters.h"),
+                    self._render_parameters(design, fmt))
+        for name, content in _STATIC_HEADERS.items():
+            self._write(project,
+                        os.path.join(fw, "nnet_utils", name), content)
+        self._write(project, os.path.join(fw, f"{self.project_name}.h"),
+                    templates.TOP_H.format(
+                        guard=self.project_name.upper(),
+                        project=self.project_name))
+        self._write(project, os.path.join(fw, f"{self.project_name}.cpp"),
+                    self._render_top(design))
+        if model is not None:
+            self._emit_weights(project, fw, model, fmt)
+        self._write(project,
+                    os.path.join(outdir, "tb", f"{self.project_name}_test.cpp"),
+                    templates.TESTBENCH_CPP.format(project=self.project_name))
+        clock_mhz = design.perf.config.effective_clock_mhz
+        self._write(project, os.path.join(outdir, "build_prj.tcl"),
+                    templates.BUILD_TCL.format(
+                        project=self.project_name,
+                        part=self._part_string(design),
+                        period_ns=f"{1000.0 / clock_mhz:.2f}"))
+        self._write(project, os.path.join(outdir, "reports", "csynth.rpt"),
+                    design.report.render() + "\n")
+        return project
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _part_string(design: AcceleratorDesign) -> str:
+        name = design.perf.config.device.name.lower()
+        if "xcku115" in name:
+            return "xcku115-flvb2104-2-i"
+        return name.replace(" ", "-")
+
+    def _write(self, project: EmittedProject, path: str,
+               content: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(content)
+        project.files.append(path)
+
+    def _render_defines(self, design: AcceleratorDesign,
+                        fmt: FixedPointFormat) -> str:
+        dims = [
+            f"#define N_INPUT {int(np.prod(design.netlist.input_shape))}",
+            f"#define N_OUTPUT "
+            f"{design.netlist.layers[-1].out_elements}",
+        ]
+        for i, layer in enumerate(design.netlist.layers):
+            dims.append(f"#define L{i}_N_IN  {layer.in_elements}")
+            dims.append(f"#define L{i}_N_OUT {layer.out_elements}")
+        return templates.DEFINES_H.format(
+            total_bits=fmt.total_bits,
+            int_bits=fmt.integer_bits + 1,
+            mc_samples=design.perf.config.mc_samples,
+            layer_dim_defines="\n".join(dims))
+
+    def _render_parameters(self, design: AcceleratorDesign,
+                           fmt: FixedPointFormat) -> str:
+        blocks = ["#ifndef PARAMETERS_H_", "#define PARAMETERS_H_", "",
+                  '#include "defines.h"', ""]
+        for i, layer in enumerate(design.netlist.layers):
+            blocks.append(self._layer_config_struct(i, layer))
+        blocks += ["#endif", ""]
+        return "\n".join(blocks)
+
+    @staticmethod
+    def _layer_config_struct(idx: int, layer: LayerInfo) -> str:
+        lines = [f"// {layer.name} ({layer.kind})",
+                 f"struct config{idx} : nnet::common_config {{"]
+        lines.append(f"    static const unsigned n_in = {layer.in_elements};")
+        lines.append(
+            f"    static const unsigned n_out = {layer.out_elements};")
+        if len(layer.in_shape) == 3:
+            c, h, w = layer.in_shape
+            lines.append(f"    static const unsigned n_chan = {c};")
+            lines.append(f"    static const unsigned in_height = {h};")
+            lines.append(f"    static const unsigned in_width = {w};")
+            lines.append(f"    static const unsigned height = {h};")
+            lines.append(f"    static const unsigned width = {w};")
+        if len(layer.out_shape) == 3:
+            oc, oh, ow = layer.out_shape
+            lines.append(f"    static const unsigned n_filt = {oc};")
+            lines.append(f"    static const unsigned out_height = {oh};")
+            lines.append(f"    static const unsigned out_width = {ow};")
+        if layer.kind == KIND_DROPOUT and layer.dropout_code is not None:
+            keep = 0.75  # default keep probability of the dynamic designs
+            lines.append("    // dropout configuration")
+            lines.append(
+                f"    static const unsigned keep_threshold = "
+                f"{int(keep * 65535)};")
+            lines.append(
+                f"    static const unsigned gamma_threshold = "
+                f"{int(0.08 * 65535)};")
+            lines.append("    static const unsigned block_size = 3;")
+            lines.append("    static const unsigned num_masks = 4;")
+            lines.append("    typedef model_default_t scale_t;")
+            lines.append(
+                f"    static constexpr double inv_keep = {1.0 / keep:.6f};")
+            lines.append(
+                "    static constexpr double sigma_lsb = 0.000122;")
+        lines.append("    typedef model_default_t weight_t;")
+        lines.append("    typedef model_default_t bias_t;")
+        lines.append("    typedef model_default_t scale_t;")
+        lines.append("    typedef ap_fixed<32,16> accum_t;")
+        lines.append("    static const unsigned pool_size = 2;")
+        lines.append("    static const unsigned filt_height = 3;")
+        lines.append("    static const unsigned filt_width = 3;")
+        lines.append("    static const unsigned stride = 1;")
+        lines.append("    static const unsigned pad = 1;")
+        lines.append("};")
+        lines.append("")
+        return "\n".join(lines)
+
+    def _render_top(self, design: AcceleratorDesign) -> str:
+        body_lines: List[str] = []
+        buf = 0
+        for i, layer in enumerate(design.netlist.layers):
+            src, dst = buf, buf + 1
+            call = self._layer_call(i, layer, src, dst)
+            if call is None:
+                continue
+            body_lines.append(
+                f"        static model_default_t buf{dst}"
+                f"[L{i}_N_OUT];")
+            body_lines.append(f"        {call}")
+            buf += 1
+        body_lines.append(
+            "        for (unsigned j = 0; j < N_OUTPUT; j++) "
+            f"output[t][j] = buf{buf}[j];")
+        # The very first buffer is the input.
+        body = "\n".join(body_lines).replace("buf0", "input")
+        return templates.TOP_CPP.format(
+            project=self.project_name,
+            design_name=design.name,
+            dropout_config=design.dropout_config or "-",
+            num_layers=len(design.netlist.layers),
+            body=body)
+
+    @staticmethod
+    def _layer_call(idx: int, layer: LayerInfo, src: int,
+                    dst: int) -> Optional[str]:
+        args = {"idx": idx, "src": src, "dst": dst}
+        if layer.kind == KIND_CONV:
+            return ("nnet::conv_2d<model_default_t, model_default_t, "
+                    "config{idx}>(buf{src}, buf{dst}, w{idx}, b{idx});"
+                    ).format(**args)
+        if layer.kind == KIND_LINEAR:
+            return ("nnet::dense<model_default_t, model_default_t, "
+                    "config{idx}>(buf{src}, buf{dst}, w{idx}, b{idx});"
+                    ).format(**args)
+        if layer.kind == KIND_BN:
+            return ("nnet::normalize<model_default_t, model_default_t, "
+                    "config{idx}>(buf{src}, buf{dst}, s{idx}, sh{idx});"
+                    ).format(**args)
+        if layer.kind == KIND_ACT:
+            return ("nnet::relu<model_default_t, model_default_t, "
+                    "config{idx}>(buf{src}, buf{dst});").format(**args)
+        if layer.kind == KIND_POOL:
+            return ("nnet::max_pool_2d<model_default_t, model_default_t, "
+                    "config{idx}>(buf{src}, buf{dst});").format(**args)
+        if layer.kind == KIND_GPOOL:
+            return ("nnet::global_avg_pool_2d<model_default_t, "
+                    "model_default_t, config{idx}>(buf{src}, buf{dst});"
+                    ).format(**args)
+        if layer.kind == KIND_DROPOUT:
+            if layer.dropout_code is None:
+                return None
+            call = _DROPOUT_CALL.get(layer.dropout_code)
+            if call is None:
+                raise KeyError(
+                    f"no HLS template registered for dropout design "
+                    f"{layer.dropout_code!r}; extend "
+                    f"repro.hw.codegen.emitter._DROPOUT_CALL and "
+                    f"templates.NNET_DROPOUT_H")
+            return call.format(**args)
+        if layer.kind in (KIND_FLATTEN, KIND_IDENTITY):
+            return None
+        raise ValueError(f"unhandled layer kind {layer.kind!r}")
+
+    def _emit_weights(self, project: EmittedProject, fw_dir: str,
+                      model: Module, fmt: FixedPointFormat) -> None:
+        """Quantize model parameters and write weight headers."""
+        for k, (name, param) in enumerate(model.named_parameters()):
+            codes = fmt.to_fixed(param.data).ravel()
+            path = os.path.join(fw_dir, "weights", f"w{k}.h")
+            if codes.size > MAX_INLINE_WEIGHTS:
+                npy_path = os.path.join(fw_dir, "weights", f"w{k}.npy")
+                np.save(npy_path, codes.astype(np.int16))
+                content = (
+                    f"// {name}: {codes.size} values exceed the inline "
+                    f"limit ({MAX_INLINE_WEIGHTS}); quantized codes "
+                    f"stored in w{k}.npy (load via $readmem-style "
+                    f"initialization).\n")
+                project.files.append(npy_path)
+            else:
+                values = ", ".join(str(int(v)) for v in codes)
+                content = (
+                    f"// {name} quantized to {fmt} ({codes.size} values)\n"
+                    f"static const short w{k}_codes[{codes.size}] = "
+                    f"{{{values}}};\n")
+            self._write(project, path, content)
+
+
+def emit_hls_project(design: AcceleratorDesign, outdir: str, *,
+                     model: Optional[Module] = None,
+                     project_name: str = "myproject") -> EmittedProject:
+    """Convenience wrapper: emit ``design`` as an HLS project."""
+    return HLSEmitter(project_name).emit(design, outdir, model=model)

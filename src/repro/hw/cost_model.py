@@ -1,0 +1,193 @@
+"""Learned hardware cost model (paper Sec. 3.5.1).
+
+Synthesis and place & route are too slow to sit inside the evolutionary
+loop, so the paper trains a Gaussian-process regressor on a one-time
+dataset whose inputs are hardware configurations — *the input shape and
+dropout type* — and whose outputs are latencies.  During search the GP
+supplies instant latency estimates; dataset construction and training
+happen once and the model is reused across searches.
+
+Here the "ground truth" latencies come from the analytic synthesis
+model of :mod:`repro.hw.perf` (our Vivado-HLS stand-in), optionally
+perturbed with noise to emulate place-and-route variance.  The learned
+model predicts per-dropout-layer latency contributions; a network's
+total latency is the (deterministic) dropout-free base latency plus the
+GP prediction for each specified slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dropout.registry import ALL_CODES
+from repro.hw.dropout_hw import dropout_stall_cycles
+from repro.hw.gp import GaussianProcessRegressor
+from repro.hw.netlist import Netlist
+from repro.hw.perf import AcceleratorConfig, estimate
+from repro.search.space import DropoutConfig
+from repro.utils.rng import SeedLike, new_rng
+
+def num_features() -> int:
+    """Feature width: [log2(elements)] + one-hot over registered codes.
+
+    Computed dynamically because extension designs may be registered
+    (models trained before a registration must be rebuilt afterwards).
+    """
+    return 1 + len(ALL_CODES)
+
+
+def encode_features(elements: int, code: str) -> np.ndarray:
+    """Encode one (input shape, dropout type) pair as a feature vector.
+
+    The spatial input shape enters through its element count on a log
+    scale; the dropout type is one-hot.
+    """
+    if elements <= 0:
+        raise ValueError(f"elements must be positive, got {elements}")
+    if code not in ALL_CODES:
+        raise KeyError(f"unknown dropout code {code!r}")
+    onehot = [1.0 if code == c else 0.0 for c in ALL_CODES]
+    return np.array([np.log2(float(elements))] + onehot, dtype=np.float64)
+
+
+def build_latency_dataset(config: AcceleratorConfig, *,
+                          element_range: Tuple[int, int] = (64, 262_144),
+                          points_per_type: int = 24,
+                          noise_std_cycles: float = 0.0,
+                          rng: SeedLike = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample the one-time (configuration -> latency) training set.
+
+    Args:
+        config: accelerator knobs (clock frequency, dropout lanes).
+        element_range: min/max activation elements to cover.
+        points_per_type: samples per dropout design, log-spaced.
+        noise_std_cycles: optional Gaussian noise on the cycle counts to
+            emulate synthesis/place-and-route variance.
+        rng: seed for the noise.
+
+    Returns:
+        ``(X, y)`` with features from :func:`encode_features` and
+        per-pass dropout latency targets in milliseconds.
+    """
+    if points_per_type < 2:
+        raise ValueError(
+            f"points_per_type must be >= 2, got {points_per_type}")
+    lo, hi = element_range
+    if not 0 < lo < hi:
+        raise ValueError(f"invalid element_range {element_range}")
+    rng = new_rng(rng)
+    sizes = np.unique(np.round(np.logspace(
+        np.log10(lo), np.log10(hi), points_per_type)).astype(int))
+    clock_khz = config.effective_clock_mhz * 1e3
+    xs: List[np.ndarray] = []
+    ys: List[float] = []
+    for code in ALL_CODES:
+        for elements in sizes:
+            cycles = dropout_stall_cycles(
+                code, int(elements), lanes=config.dropout_lanes)
+            if noise_std_cycles > 0:
+                cycles = max(cycles + rng.normal(0.0, noise_std_cycles), 0.0)
+            xs.append(encode_features(int(elements), code))
+            ys.append(cycles / clock_khz)
+    return np.stack(xs), np.asarray(ys)
+
+
+@dataclass
+class CostModelReport:
+    """Fit-quality summary of a trained cost model."""
+
+    mean_abs_error_ms: float
+    max_abs_error_ms: float
+    num_train_points: int
+
+
+class GPLatencyModel:
+    """GP latency predictor used inside the evolutionary loop.
+
+    Args:
+        netlist: a traced reference network (any dropout configuration;
+            only slot *positions/shapes* matter — they are fixed by the
+            Phase-1 specification).
+        config: accelerator knobs matching the final implementation.
+        kernel: GP kernel (paper: Matérn).
+        noise_std_cycles: synthetic place-and-route noise injected into
+            the training set.
+        rng: seed for dataset noise and optimizer restarts.
+    """
+
+    def __init__(self, netlist: Netlist, config: AcceleratorConfig, *,
+                 kernel: str = "matern52", noise_std_cycles: float = 0.0,
+                 points_per_type: int = 24, rng: SeedLike = None) -> None:
+        self.config = config
+        self.netlist = netlist
+        root = new_rng(rng)
+        self._slot_elements: List[int] = [
+            layer.out_elements for layer in netlist.dropout_layers]
+        if not self._slot_elements:
+            raise ValueError("netlist contains no dropout slots")
+        lo = max(16, min(self._slot_elements) // 4)
+        hi = max(self._slot_elements) * 4
+        x, y = build_latency_dataset(
+            config, element_range=(lo, hi),
+            points_per_type=points_per_type,
+            noise_std_cycles=noise_std_cycles, rng=root)
+        self.gp = GaussianProcessRegressor(kernel=kernel, rng=root)
+        self.gp.fit(x, y)
+        self._x_train, self._y_train = x, y
+        self._base_latency_ms = self._compute_base_latency()
+
+    def _compute_base_latency(self) -> float:
+        """Latency of the network with all dropout slots inactive."""
+        stripped = Netlist(
+            layers=[_without_dropout(l) for l in self.netlist.layers],
+            input_shape=self.netlist.input_shape)
+        return estimate(stripped, self.config).latency_ms
+
+    @property
+    def base_latency_ms(self) -> float:
+        """Dropout-free network latency (deterministic part)."""
+        return self._base_latency_ms
+
+    def predict_slot_ms(self, elements: int, code: str) -> float:
+        """Predicted per-pass latency of one dropout slot."""
+        features = encode_features(elements, code)[None, :]
+        return float(np.maximum(self.gp.predict(features)[0], 0.0))
+
+    def predict_latency_ms(self, config: DropoutConfig) -> float:
+        """End-to-end latency (all MC passes) of a dropout configuration."""
+        if len(config) != len(self._slot_elements):
+            raise ValueError(
+                f"configuration has {len(config)} genes but the network "
+                f"has {len(self._slot_elements)} dropout slots")
+        per_pass = sum(
+            self.predict_slot_ms(elements, code)
+            for elements, code in zip(self._slot_elements, config))
+        return self._base_latency_ms + self.config.mc_samples * per_pass
+
+    def __call__(self, config: DropoutConfig) -> float:
+        return self.predict_latency_ms(config)
+
+    def validate_against(self, oracle, configs: Sequence[DropoutConfig]
+                         ) -> CostModelReport:
+        """Compare GP predictions against an exact latency oracle."""
+        errors = [abs(self.predict_latency_ms(c) - float(oracle(c)))
+                  for c in configs]
+        if not errors:
+            raise ValueError("no configurations supplied")
+        return CostModelReport(
+            mean_abs_error_ms=float(np.mean(errors)),
+            max_abs_error_ms=float(np.max(errors)),
+            num_train_points=len(self._y_train),
+        )
+
+
+def _without_dropout(layer):
+    """Copy of a netlist record with any dropout design removed."""
+    from dataclasses import replace
+    if layer.kind == "dropout":
+        return replace(layer, dropout_code=None)
+    return layer

@@ -1,0 +1,110 @@
+"""FPGA device catalog.
+
+Resource envelopes for the paper's target board (Xilinx Kintex
+UltraScale XCKU115) and the boards used by the related-work comparison
+in Table 3.  Static power and default clock frequencies follow the
+paper's reported operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource and power envelope of one FPGA part.
+
+    Attributes:
+        name: part name.
+        family: device family / vendor line.
+        technology_nm: process node in nanometres.
+        luts: total 6-input LUT count.
+        ffs: total flip-flop count.
+        bram36: total 36-Kb block-RAM tiles.
+        dsp: total DSP slices.
+        default_clock_mhz: the operating frequency used by the paper.
+        static_power_w: device static power at the operating point.
+    """
+
+    name: str
+    family: str
+    technology_nm: int
+    luts: int
+    ffs: int
+    bram36: int
+    dsp: int
+    default_clock_mhz: float
+    static_power_w: float
+
+    @property
+    def bram_bits(self) -> int:
+        """Total block-RAM capacity in bits."""
+        return self.bram36 * 36 * 1024
+
+
+#: The paper's target device (Table 3, "Our Work": XCKU115 @ 181 MHz).
+XCKU115 = FPGADevice(
+    name="XCKU115",
+    family="Xilinx Kintex UltraScale",
+    technology_nm=20,
+    luts=663_360,
+    ffs=1_326_720,
+    bram36=2_160,
+    dsp=5_520,
+    default_clock_mhz=181.0,
+    static_power_w=1.29,  # paper Fig. 5: ~1.29 W static
+)
+
+#: VIBNN's board (ASPLOS'18 [3]).
+CYCLONE_V = FPGADevice(
+    name="Cyclone V 5CEA9",
+    family="Altera Cyclone V",
+    technology_nm=28,
+    luts=114_480,
+    ffs=342_000,
+    bram36=610,
+    dsp=342,
+    default_clock_mhz=213.0,
+    static_power_w=0.9,
+)
+
+#: BYNQNet's board (DATE'20 [1]).
+ZYNQ_XC7Z020 = FPGADevice(
+    name="Zynq XC7Z020",
+    family="Xilinx Zynq-7000",
+    technology_nm=28,
+    luts=53_200,
+    ffs=106_400,
+    bram36=140,
+    dsp=220,
+    default_clock_mhz=200.0,
+    static_power_w=0.6,
+)
+
+#: TPDS'22's board ([10]).
+ARRIA10_GX1150 = FPGADevice(
+    name="Arria 10 GX1150",
+    family="Intel Arria 10",
+    technology_nm=20,
+    luts=427_200,
+    ffs=1_708_800,
+    bram36=2_713,
+    dsp=1_518,
+    default_clock_mhz=220.0,
+    static_power_w=2.5,
+)
+
+#: All devices by name.
+DEVICE_CATALOG: Dict[str, FPGADevice] = {
+    d.name: d for d in (XCKU115, CYCLONE_V, ZYNQ_XC7Z020, ARRIA10_GX1150)
+}
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look up a device by exact name."""
+    if name not in DEVICE_CATALOG:
+        raise KeyError(
+            f"unknown device {name!r}; catalog: {sorted(DEVICE_CATALOG)}")
+    return DEVICE_CATALOG[name]

@@ -1,0 +1,167 @@
+"""FPGA implementations of the four dropout designs (paper Sec. 3.5.2).
+
+Each design maps to hardware differently, and the differences drive both
+the latency and the power results of the paper:
+
+* **Bernoulli** — one 16-bit LFSR word and one comparator per element;
+  mask generation pipelines perfectly with the preceding layer's output
+  stream, so it adds essentially no cycles (paper Table 1: Bernoulli
+  matches Masksembles latency) but burns Logic&Signal power in the
+  comparators (paper Fig. 5 discussion).
+* **Random** — needs both the point datapath and a channel-mask path
+  plus a per-pass granularity select; the mode change breaks stream
+  fusion, stalling roughly one extra cycle per element.
+* **Block** — a ``block x block`` OR-dilation window over seed bits
+  requires line buffering, the most expensive dynamic design.
+* **Masksembles** — masks generated *offline* and stored in BRAM; no
+  RNG, no comparators, zero stall (an AND gate on the stream), but
+  extra BRAM tiles and BRAM power (paper Fig. 5: Masksembles consumes
+  more BRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.netlist import LayerInfo
+
+#: Extra pipeline-stall cycles per activation element, per design.
+#: Calibrated so the Table-1 latency ordering holds:
+#: Bernoulli ~= Masksembles < Random < Block (about +20% on ResNet18).
+STALL_CYCLES_PER_ELEMENT: Dict[str, float] = {
+    "B": 0.02,   # mask generation overlaps the output stream
+    "M": 0.0,    # static mask, fused AND on the stream
+    "R": 1.50,   # granularity mux breaks fusion
+    "K": 1.80,   # window dilation needs line buffers
+}
+
+#: Comparator operations per element (drives Logic&Signal power).
+COMPARATORS_PER_ELEMENT: Dict[str, float] = {
+    "B": 1.0,
+    "R": 2.0,
+    "K": 9.0,   # 3x3 OR-dilation window
+    "M": 0.0,
+}
+
+#: Flip-flops per dropout lane (LFSR state + control).
+FFS_PER_LANE: Dict[str, int] = {
+    "B": 48,
+    "R": 96,
+    "K": 160,
+    "M": 16,
+}
+
+#: LUTs per dropout lane.
+LUTS_PER_LANE: Dict[str, int] = {
+    "B": 64,
+    "R": 128,
+    "K": 220,
+    "M": 24,
+}
+
+#: Masksembles mask copies stored on chip.
+MASKSEMBLES_FAMILY_SIZE = 4
+
+
+def register_hw_profile(code: str, *, stall_cycles_per_element: float,
+                        comparators_per_element: float,
+                        ffs_per_lane: int, luts_per_lane: int) -> None:
+    """Add the hardware cost profile of an extension dropout design.
+
+    Called by :func:`repro.dropout.registry.register_design`; the core
+    four designs' profiles are module constants and cannot be replaced.
+    """
+    if code in ("B", "R", "K", "M"):
+        raise ValueError(
+            f"profile for core design {code!r} cannot be replaced")
+    if code in STALL_CYCLES_PER_ELEMENT:
+        raise ValueError(f"profile for {code!r} is already registered")
+    if stall_cycles_per_element < 0 or comparators_per_element < 0:
+        raise ValueError("cost values must be non-negative")
+    STALL_CYCLES_PER_ELEMENT[code] = float(stall_cycles_per_element)
+    COMPARATORS_PER_ELEMENT[code] = float(comparators_per_element)
+    FFS_PER_LANE[code] = int(ffs_per_lane)
+    LUTS_PER_LANE[code] = int(luts_per_lane)
+
+
+def unregister_hw_profile(code: str) -> None:
+    """Remove an extension design's hardware profile (no-op if absent)."""
+    if code in ("B", "R", "K", "M"):
+        raise ValueError(f"core design {code!r} cannot be removed")
+    STALL_CYCLES_PER_ELEMENT.pop(code, None)
+    COMPARATORS_PER_ELEMENT.pop(code, None)
+    FFS_PER_LANE.pop(code, None)
+    LUTS_PER_LANE.pop(code, None)
+
+
+@dataclass(frozen=True)
+class DropoutHWModel:
+    """Hardware cost of one dropout slot instance.
+
+    Attributes:
+        code: design code (B/R/K/M).
+        stall_cycles: extra cycles added to one forward pass.
+        comparator_ops: comparator operations per forward pass.
+        ffs: flip-flops consumed by the slot's datapath.
+        luts: LUTs consumed by the slot's datapath.
+        bram_bits: on-chip mask storage in bits (Masksembles only).
+    """
+
+    code: str
+    stall_cycles: float
+    comparator_ops: float
+    ffs: int
+    luts: int
+    bram_bits: int
+
+
+def model_dropout_layer(layer: LayerInfo, *, lanes: int = 1) -> DropoutHWModel:
+    """Derive the hardware cost of one traced dropout slot.
+
+    Args:
+        layer: netlist record of kind ``dropout`` (an inactive slot —
+            ``dropout_code`` None — costs nothing).
+        lanes: parallel mask-application lanes.
+
+    Returns:
+        A :class:`DropoutHWModel` for a single forward pass.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    code = layer.dropout_code
+    if code is None:
+        return DropoutHWModel(code="-", stall_cycles=0.0, comparator_ops=0.0,
+                              ffs=0, luts=0, bram_bits=0)
+    if code not in STALL_CYCLES_PER_ELEMENT:
+        raise KeyError(f"unknown dropout design code {code!r}")
+    elements = layer.out_elements
+    stall = STALL_CYCLES_PER_ELEMENT[code] * elements / lanes
+    comparators = COMPARATORS_PER_ELEMENT[code] * elements
+    bram_bits = 0
+    if code == "M":
+        # One bit per channel (4-D) or feature (2-D) per stored mask.
+        channels = layer.out_shape[0] if layer.out_shape else elements
+        bram_bits = MASKSEMBLES_FAMILY_SIZE * int(channels)
+    return DropoutHWModel(
+        code=code,
+        stall_cycles=stall,
+        comparator_ops=comparators,
+        ffs=FFS_PER_LANE[code] * lanes,
+        luts=LUTS_PER_LANE[code] * lanes,
+        bram_bits=bram_bits,
+    )
+
+
+def dropout_stall_cycles(code: str, elements: int, *, lanes: int = 1) -> float:
+    """Stall cycles for ``elements`` activations under design ``code``.
+
+    Convenience entry point used by the GP cost-model dataset builder.
+    """
+    if code not in STALL_CYCLES_PER_ELEMENT:
+        raise KeyError(f"unknown dropout design code {code!r}")
+    if elements < 0:
+        raise ValueError(f"elements must be >= 0, got {elements}")
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    return STALL_CYCLES_PER_ELEMENT[code] * elements / lanes

@@ -1,0 +1,119 @@
+"""Power model with the Figure-5 breakdown.
+
+Vivado's post-place-and-route power report splits total power into a
+static device term and dynamic components: IO, Logic&Signal, DSP,
+Clocking and BRAM.  This model reproduces that decomposition:
+
+* Logic&Signal scales with fabric utilization *plus* the comparator
+  activity of dynamic dropout designs — the paper attributes the high
+  Logic&Signal share to "the comparing operations in dynamic dropout
+  layers" (Sec. 4.3);
+* BRAM power scales with occupied tiles — "the implementation of
+  Masksembles consumes more BRAM resources";
+* Clocking scales with clock frequency and the registered fabric;
+* DSP scales with active DSP slices.
+
+Coefficients are calibrated to the paper's Fig. 5 operating points
+(Accuracy-Optimal 4.378 W total / 3.083 W dynamic; ECE-Optimal 3.905 W
+total / 2.617 W dynamic on XCKU115 @ 181 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.device import FPGADevice
+from repro.hw.perf import PerfEstimate
+
+#: Watts per (MHz x FF-utilization) for the clock tree.
+K_CLOCKING = 6.2e-3
+#: Watts per (MHz x LUT-utilization) for base logic/signal switching.
+K_LOGIC = 2.0e-2
+#: Watts per comparator operation per second (dynamic dropout activity).
+K_COMPARATOR = 5.0e-9
+#: Watts per (DSP slice x MHz).
+K_DSP = 4.3e-6
+#: Watts per (BRAM36 tile x MHz).
+K_BRAM = 1.55e-6
+#: Constant IO interface power in watts.
+IO_POWER_W = 0.23
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power of one design, in watts."""
+
+    static: float
+    io: float
+    logic_signal: float
+    dsp: float
+    clocking: float
+    bram: float
+
+    @property
+    def dynamic(self) -> float:
+        """Total dynamic power."""
+        return self.io + self.logic_signal + self.dsp + self.clocking + self.bram
+
+    @property
+    def total(self) -> float:
+        """Total on-chip power."""
+        return self.static + self.dynamic
+
+    def dynamic_shares(self) -> Dict[str, float]:
+        """Each dynamic component as a fraction of dynamic power."""
+        dyn = self.dynamic
+        if dyn <= 0:
+            raise ValueError("design has no dynamic power")
+        return {
+            "IO": self.io / dyn,
+            "Logic&Signal": self.logic_signal / dyn,
+            "DSP": self.dsp / dyn,
+            "Clocking": self.clocking / dyn,
+            "BRAM": self.bram / dyn,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view in watts."""
+        return {
+            "static": self.static,
+            "io": self.io,
+            "logic_signal": self.logic_signal,
+            "dsp": self.dsp,
+            "clocking": self.clocking,
+            "bram": self.bram,
+            "dynamic": self.dynamic,
+            "total": self.total,
+        }
+
+
+def estimate_power(perf: PerfEstimate) -> PowerBreakdown:
+    """Derive the power breakdown of a design from its perf estimate."""
+    device: FPGADevice = perf.config.device
+    clock = perf.config.effective_clock_mhz
+    util = perf.resources.utilization(device)
+
+    latency_s = perf.latency_ms / 1e3
+    comparator_ops_per_s = (perf.comparator_ops_per_inference / latency_s
+                            if latency_s > 0 else 0.0)
+
+    return PowerBreakdown(
+        static=device.static_power_w,
+        io=IO_POWER_W,
+        logic_signal=(K_LOGIC * clock * util["LUT"]
+                      + K_COMPARATOR * comparator_ops_per_s),
+        dsp=K_DSP * perf.resources.dsp * clock,
+        clocking=K_CLOCKING * clock * util["FF"],
+        bram=K_BRAM * perf.resources.bram36 * clock,
+    )
+
+
+def energy_per_image_j(perf: PerfEstimate,
+                       power: PowerBreakdown) -> float:
+    """Energy per uncertainty-aware inference, in joules.
+
+    Matches the paper's Table-3 "Energy Efficiency (J/Image)" metric,
+    which is total power times end-to-end latency.
+    """
+    return power.total * perf.latency_ms / 1e3

@@ -1,0 +1,117 @@
+"""C-synthesis-style reports (the stand-in for Vivado-HLS csynth output).
+
+The paper reads latency, resource utilization and power from Vivado-HLS
+C-synthesis reports and the Vivado post-route power report; this module
+renders the analytic model's numbers in the same shape so downstream
+code (tables, code generation, docs) has one canonical record type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.perf import AcceleratorConfig, PerfEstimate
+from repro.hw.power import PowerBreakdown, energy_per_image_j
+
+
+@dataclass
+class SynthesisReport:
+    """Everything the flow reports about one generated accelerator.
+
+    Attributes:
+        design_name: model name, e.g. ``resnet18``.
+        dropout_config: Table-2 notation of the dropout configuration.
+        perf: latency/resource estimate.
+        power: power breakdown.
+    """
+
+    design_name: str
+    dropout_config: str
+    perf: PerfEstimate
+    power: PowerBreakdown
+
+    # ------------------------------------------------------------------
+    # Headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency of one uncertainty-aware inference."""
+        return self.perf.latency_ms
+
+    @property
+    def total_power_w(self) -> float:
+        """Total on-chip power in watts."""
+        return self.power.total
+
+    @property
+    def energy_per_image_j(self) -> float:
+        """Energy per inference in joules (Table-3 metric)."""
+        return energy_per_image_j(self.perf, self.power)
+
+    @property
+    def clock_mhz(self) -> float:
+        """Operating frequency."""
+        return self.perf.config.effective_clock_mhz
+
+    def utilization_percent(self) -> Dict[str, float]:
+        """Resource utilization in percent, keyed BRAM/DSP/FF/LUT."""
+        util = self.perf.resources.utilization(self.perf.config.device)
+        return {k: 100.0 * v for k, v in util.items()}
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat row used by the benchmark tables."""
+        util = self.utilization_percent()
+        return {
+            "config": self.dropout_config,
+            "latency_ms": self.latency_ms,
+            "power_w": self.total_power_w,
+            "energy_j": self.energy_per_image_j,
+            "bram_pct": util["BRAM"],
+            "dsp_pct": util["DSP"],
+            "ff_pct": util["FF"],
+            "lut_pct": util["LUT"],
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render a csynth-style text report."""
+        cfg: AcceleratorConfig = self.perf.config
+        util = self.utilization_percent()
+        res = self.perf.resources
+        dev = cfg.device
+        lines = [
+            "== Synthesis Report (analytic model) " + "=" * 30,
+            f"* Design:        {self.design_name} [{self.dropout_config}]",
+            f"* Device:        {dev.name} ({dev.technology_nm} nm)",
+            f"* Clock:         {self.clock_mhz:.1f} MHz",
+            f"* Precision:     {cfg.fixed_point}",
+            f"* MC samples:    {cfg.mc_samples}",
+            "",
+            "+ Timing",
+            f"|  cycles/pass:    {self.perf.cycles_per_pass:>12.0f}",
+            f"|  total cycles:   {self.perf.total_cycles:>12.0f}",
+            f"|  latency:        {self.latency_ms:>12.3f} ms",
+            f"|  throughput:     {self.perf.throughput_images_per_s:>12.1f} img/s",
+            "",
+            "+ Utilization",
+            f"|  BRAM_36K: {res.bram36:>8d} / {dev.bram36:<8d} ({util['BRAM']:5.1f}%)",
+            f"|  DSP48:    {res.dsp:>8d} / {dev.dsp:<8d} ({util['DSP']:5.1f}%)",
+            f"|  FF:       {res.ffs:>8d} / {dev.ffs:<8d} ({util['FF']:5.1f}%)",
+            f"|  LUT:      {res.luts:>8d} / {dev.luts:<8d} ({util['LUT']:5.1f}%)",
+            "",
+            "+ Power",
+            f"|  static:        {self.power.static:>8.3f} W",
+            f"|  io:            {self.power.io:>8.3f} W",
+            f"|  logic&signal:  {self.power.logic_signal:>8.3f} W",
+            f"|  dsp:           {self.power.dsp:>8.3f} W",
+            f"|  clocking:      {self.power.clocking:>8.3f} W",
+            f"|  bram:          {self.power.bram:>8.3f} W",
+            f"|  dynamic:       {self.power.dynamic:>8.3f} W",
+            f"|  total:         {self.power.total:>8.3f} W",
+            "",
+            f"+ Energy/inference: {self.energy_per_image_j * 1e3:.3f} mJ",
+        ]
+        return "\n".join(lines)

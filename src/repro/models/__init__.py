@@ -1,0 +1,21 @@
+"""Model zoo: LeNet / VGG11 / ResNet18 / BayesMLP with dropout slots."""
+
+from repro.models.lenet import LeNet
+from repro.models.mlp import BayesMLP
+from repro.models.registry import available_models, build_model
+from repro.models.resnet import BasicBlock, ResNet18
+from repro.models.slots import DropoutSlot, collect_slots
+from repro.models.vgg import VGG11, VGG11_CFG
+
+__all__ = [
+    "BasicBlock",
+    "BayesMLP",
+    "DropoutSlot",
+    "LeNet",
+    "ResNet18",
+    "VGG11",
+    "VGG11_CFG",
+    "available_models",
+    "build_model",
+    "collect_slots",
+]

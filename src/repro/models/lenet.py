@@ -1,0 +1,96 @@
+"""LeNet with the paper's three dropout slots (Sec. 4.1).
+
+Paper specification: *"For LeNet, we specified three dropout layers:
+(a) two dropout layers follow convolutional layers with all four dropout
+choices, (b) one dropout layer follows fully-connected layers with two
+dropout choices: Bernoulli Dropout and Masksembles."*
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro import nn
+from repro.models.slots import DropoutSlot
+from repro.nn.functional import conv_output_size
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+class LeNet(nn.Module):
+    """LeNet-5-style CNN with three searchable dropout slots.
+
+    Args:
+        in_channels: input image channels (1 for MNIST-like data).
+        num_classes: classifier output size.
+        image_size: square input side length (28 for MNIST-like).
+        width_mult: multiplies every channel/feature count; use < 1 for
+            fast CI-scale models without changing topology.
+        rng: seed or generator for weight init.
+    """
+
+    def __init__(self, in_channels: int = 1, num_classes: int = 10,
+                 image_size: int = 28, *, width_mult: float = 1.0,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        check_positive_int(in_channels, "in_channels")
+        check_positive_int(num_classes, "num_classes")
+        check_positive_int(image_size, "image_size")
+        if width_mult <= 0:
+            raise ValueError(f"width_mult must be positive, got {width_mult}")
+        rngs = spawn_rngs(rng, 5)
+        c1 = max(2, int(round(6 * width_mult)))
+        c2 = max(2, int(round(16 * width_mult)))
+        f1 = max(4, int(round(120 * width_mult)))
+        f2 = max(4, int(round(84 * width_mult)))
+
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self.image_size = image_size
+
+        # conv stage 1: 'same' conv then 2x2 pool
+        self.conv1 = nn.Conv2d(in_channels, c1, 5, padding=2, rng=rngs[0])
+        self.relu1 = nn.ReLU()
+        self.pool1 = nn.MaxPool2d(2)
+        self.slot1 = DropoutSlot("conv1", "conv")
+
+        # conv stage 2: valid conv then 2x2 pool
+        self.conv2 = nn.Conv2d(c1, c2, 5, rng=rngs[1])
+        self.relu2 = nn.ReLU()
+        self.pool2 = nn.MaxPool2d(2)
+        self.slot2 = DropoutSlot("conv2", "conv")
+
+        s = image_size
+        s = conv_output_size(s, 5, 1, 2)   # conv1 (same)
+        s = conv_output_size(s, 2, 2, 0)   # pool1
+        s = conv_output_size(s, 5, 1, 0)   # conv2 (valid)
+        s = conv_output_size(s, 2, 2, 0)   # pool2
+        flat = c2 * s * s
+
+        self.flatten = nn.Flatten()
+        self.fc1 = nn.Linear(flat, f1, rng=rngs[2])
+        self.relu3 = nn.ReLU()
+        self.fc2 = nn.Linear(f1, f2, rng=rngs[3])
+        self.relu4 = nn.ReLU()
+        # Paper: FC slot admits only Bernoulli and Masksembles.
+        self.slot3 = DropoutSlot("fc", "fc", choices=["B", "M"])
+        self.fc3 = nn.Linear(f2, num_classes, rng=rngs[4])
+
+        self._order: List[nn.Module] = [
+            self.conv1, self.relu1, self.pool1, self.slot1,
+            self.conv2, self.relu2, self.pool2, self.slot2,
+            self.flatten, self.fc1, self.relu3, self.fc2, self.relu4,
+            self.slot3, self.fc3,
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._order:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self._order):
+            grad_out = layer.backward(grad_out)
+        return grad_out

@@ -1,0 +1,70 @@
+"""Fully connected BayesNN with dropout slots after each hidden layer.
+
+The related-work accelerators VIBNN [3] and BYNQNet [1] support *only*
+fully connected BayesNNs (paper Sec. 4.3); this model class represents
+that workload inside the same search framework.  Every hidden layer is
+followed by an FC-placement dropout slot (choices: Bernoulli, Random,
+Masksembles — Block dropout needs spatial patches).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.models.slots import DropoutSlot
+from repro.utils.rng import SeedLike, child_rng, new_rng
+from repro.utils.validation import check_positive_int
+
+
+class BayesMLP(nn.Module):
+    """Multi-layer perceptron with searchable FC dropout slots.
+
+    Args:
+        in_channels: input image channels (flattened internally).
+        num_classes: classifier output size.
+        image_size: square input side length.
+        hidden: hidden layer widths.
+        width_mult: multiplies every hidden width.
+        rng: seed or generator for weight init.
+    """
+
+    def __init__(self, in_channels: int = 1, num_classes: int = 10,
+                 image_size: int = 28, *,
+                 hidden: Sequence[int] = (256, 128),
+                 width_mult: float = 1.0, rng: SeedLike = None) -> None:
+        super().__init__()
+        check_positive_int(in_channels, "in_channels")
+        check_positive_int(num_classes, "num_classes")
+        check_positive_int(image_size, "image_size")
+        if not hidden:
+            raise ValueError("BayesMLP needs at least one hidden layer")
+        if width_mult <= 0:
+            raise ValueError(f"width_mult must be positive, got {width_mult}")
+        root = new_rng(rng)
+
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self.image_size = image_size
+
+        in_features = in_channels * image_size * image_size
+        widths = [max(4, int(round(w * width_mult))) for w in hidden]
+
+        layers: List[nn.Module] = [nn.Flatten()]
+        features = in_features
+        for i, width in enumerate(widths):
+            layers.append(nn.Linear(features, width, rng=child_rng(root)))
+            layers.append(nn.ReLU())
+            layers.append(DropoutSlot(f"fc{i + 1}", "fc"))
+            features = width
+        layers.append(nn.Linear(features, num_classes,
+                                rng=child_rng(root)))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_out)

@@ -1,0 +1,66 @@
+"""Model factory keyed by the names used throughout the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.lenet import LeNet
+from repro.models.mlp import BayesMLP
+from repro.models.resnet import ResNet18
+from repro.models.vgg import VGG11
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+
+#: Paper-scale constructors.
+_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "lenet": LeNet,
+    "vgg11": VGG11,
+    "resnet18": ResNet18,
+    "mlp": BayesMLP,
+}
+
+#: Reduced-width / reduced-depth variants used by tests and CI-scale
+#: benchmarks; identical topology and slot structure, far fewer MACs.
+_SLIM_KWARGS: Dict[str, dict] = {
+    "lenet_slim": {"width_mult": 0.5},
+    "vgg11_slim": {"width_mult": 0.125},
+    "resnet18_slim": {"width_mult": 0.125, "blocks_per_stage": 1},
+    "mlp_slim": {"width_mult": 0.25},
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(list(_BUILDERS) + list(_SLIM_KWARGS))
+
+
+def build_model(name: str, *, in_channels: int = None, num_classes: int = 10,
+                image_size: int = None, rng: SeedLike = None,
+                **overrides) -> Module:
+    """Construct a model by name.
+
+    Args:
+        name: one of :func:`available_models` (e.g. ``'lenet'``,
+            ``'resnet18_slim'``).
+        in_channels: input channels; defaults to 1 for LeNet (MNIST-like)
+            and 3 otherwise.
+        num_classes: classifier width.
+        image_size: input side length; defaults to 28 for LeNet and 32
+            otherwise.
+        rng: seed or generator for weight init.
+        **overrides: forwarded to the model constructor (e.g.
+            ``width_mult``).
+    """
+    key = name.lower()
+    base = key[:-5] if key.endswith("_slim") else key
+    if base not in _BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}")
+    kwargs = dict(_SLIM_KWARGS.get(key, {}))
+    kwargs.update(overrides)
+    if in_channels is None:
+        in_channels = 1 if base in ("lenet", "mlp") else 3
+    if image_size is None:
+        image_size = 28 if base in ("lenet", "mlp") else 32
+    return _BUILDERS[base](in_channels=in_channels, num_classes=num_classes,
+                           image_size=image_size, rng=rng, **kwargs)

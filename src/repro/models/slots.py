@@ -1,0 +1,138 @@
+"""Dropout slots — the paper's Phase 1 'specified dropout layers'.
+
+A :class:`DropoutSlot` is a named placeholder inside a network where the
+framework may install any of several candidate dropout designs.  The
+set of slots and their admissible choices defines the layer-wise search
+space (paper Sec. 3.2): a supernet holds all choices; a sub-network is
+obtained by committing each slot to one design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dropout.base import DropoutLayer
+from repro.dropout.registry import codes_for_placement, make_dropout, resolve_code
+from repro.nn.module import Identity, Module
+from repro.utils.rng import SeedLike
+
+
+class DropoutSlot(Module):
+    """A named dropout placement point with a set of admissible designs.
+
+    Args:
+        name: unique slot name within the network (e.g. ``conv1``).
+        placement: ``'conv'`` or ``'fc'`` — constrains which designs are
+            admissible (Block dropout cannot follow an FC layer).
+        choices: admissible design codes; defaults to every design legal
+            at this placement.
+
+    The slot initially holds no design and behaves as identity.  Use
+    :meth:`set_design` to install a concrete dropout layer, or
+    :meth:`set_choice_bank` (used by the supernet) to install all
+    candidates at once and switch between them without reallocation.
+    """
+
+    def __init__(self, name: str, placement: str,
+                 choices: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        if placement not in ("conv", "fc"):
+            raise ValueError(
+                f"placement must be 'conv' or 'fc', got {placement!r}")
+        self.name = str(name)
+        self.placement = placement
+        legal = codes_for_placement(placement)
+        if choices is None:
+            self.choices: List[str] = list(legal)
+        else:
+            normalized = [resolve_code(c) for c in choices]
+            illegal = [c for c in normalized if c not in legal]
+            if illegal:
+                raise ValueError(
+                    f"designs {illegal} are not legal at placement "
+                    f"{placement!r} (slot {name!r})")
+            if len(set(normalized)) != len(normalized):
+                raise ValueError(f"duplicate choices in slot {name!r}")
+            self.choices = normalized
+        self.active: Module = Identity()
+        self._bank: Dict[str, DropoutLayer] = {}
+        self._active_code: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def active_code(self) -> Optional[str]:
+        """Code of the currently installed design, or None for identity."""
+        return self._active_code
+
+    def set_design(self, layer: Optional[DropoutLayer]) -> None:
+        """Install a concrete dropout layer (or None to clear)."""
+        if layer is None:
+            self.active = Identity()
+            self._active_code = None
+            return
+        if layer.code not in self.choices:
+            raise ValueError(
+                f"design {layer.code!r} not admissible in slot "
+                f"{self.name!r} (choices: {self.choices})")
+        self.active = layer
+        self._active_code = layer.code
+        self.active.training = self.training
+
+    def build_choice_bank(self, rng: SeedLike = None, **dropout_kwargs) -> None:
+        """Instantiate one layer per admissible choice (supernet mode).
+
+        All candidates co-exist; :meth:`select` switches the active one
+        in O(1), which is what single-path one-shot sampling needs.
+        """
+        self._bank = {
+            code: make_dropout(code, rng=rng, **dropout_kwargs)
+            for code in self.choices
+        }
+
+    @property
+    def bank(self) -> Dict[str, DropoutLayer]:
+        """The instantiated choice bank (empty until built)."""
+        return self._bank
+
+    def select(self, code: str) -> None:
+        """Activate one design from the choice bank."""
+        code = resolve_code(code)
+        if not self._bank:
+            raise RuntimeError(
+                f"slot {self.name!r} has no choice bank; call "
+                f"build_choice_bank() first")
+        if code not in self._bank:
+            raise KeyError(
+                f"design {code!r} not in slot {self.name!r} bank "
+                f"({sorted(self._bank)})")
+        self.active = self._bank[code]
+        self._active_code = code
+        self.active.training = self.training
+
+    # ------------------------------------------------------------------
+    # Module interface — delegate to the active design
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.active(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.active.backward(grad_out)
+
+    def new_sample(self) -> None:
+        """Advance the active design's MC sample counter."""
+        if isinstance(self.active, DropoutLayer):
+            self.active.new_sample()
+
+    def __repr__(self) -> str:
+        return (f"DropoutSlot(name={self.name!r}, placement="
+                f"{self.placement!r}, active={self._active_code!r}, "
+                f"choices={self.choices})")
+
+
+def collect_slots(module: Module) -> List[DropoutSlot]:
+    """Return all :class:`DropoutSlot` instances in ``module``, in order."""
+    return [m for m in module.modules() if isinstance(m, DropoutSlot)]

@@ -1,0 +1,89 @@
+"""VGG11 with four searchable dropout slots (paper Sec. 4.1).
+
+Paper specification: *"For VGG11 and ResNet18, we specify four dropout
+layers following convolutional layers with four dropout choices."*  The
+slots sit after the first four pooling stages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro import nn
+from repro.models.slots import DropoutSlot
+from repro.utils.rng import SeedLike, child_rng, new_rng
+from repro.utils.validation import check_positive_int
+
+#: Standard VGG11 configuration: channel counts with 'M' for max-pool.
+VGG11_CFG: Sequence[Union[int, str]] = (
+    64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M",
+)
+
+
+class VGG11(nn.Module):
+    """VGG11 (with batch norm) exposing four dropout slots.
+
+    Args:
+        in_channels: input image channels.
+        num_classes: classifier output size.
+        image_size: square input side (32 for CIFAR/SVHN-like data).
+        width_mult: channel multiplier for slim CI-scale variants.
+        rng: seed or generator for weight init.
+    """
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10,
+                 image_size: int = 32, *, width_mult: float = 1.0,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        check_positive_int(in_channels, "in_channels")
+        check_positive_int(num_classes, "num_classes")
+        check_positive_int(image_size, "image_size")
+        if width_mult <= 0:
+            raise ValueError(f"width_mult must be positive, got {width_mult}")
+        root = new_rng(rng)
+
+        layers: List[nn.Module] = []
+        slots: List[DropoutSlot] = []
+        channels = in_channels
+        size = image_size
+        pool_count = 0
+        for item in VGG11_CFG:
+            if item == "M":
+                if size < 2:
+                    # Input too small for another pool; stop stacking.
+                    continue
+                layers.append(nn.MaxPool2d(2))
+                size //= 2
+                pool_count += 1
+                if pool_count <= 4:
+                    slot = DropoutSlot(f"stage{pool_count}", "conv")
+                    layers.append(slot)
+                    slots.append(slot)
+            else:
+                out_ch = max(2, int(round(int(item) * width_mult)))
+                layers.append(nn.Conv2d(channels, out_ch, 3, padding=1,
+                                        bias=False, rng=child_rng(root)))
+                layers.append(nn.BatchNorm2d(out_ch))
+                layers.append(nn.ReLU())
+                channels = out_ch
+
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.features = nn.Sequential(*layers)
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Linear(channels * size * size, num_classes,
+                                    rng=child_rng(root))
+        self._slots = slots
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.features(x)
+        x = self.flatten(x)
+        return self.classifier(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = self.classifier.backward(grad_out)
+        grad_out = self.flatten.backward(grad_out)
+        return self.features.backward(grad_out)

@@ -1,0 +1,56 @@
+"""A from-scratch numpy deep-learning substrate.
+
+Replaces PyTorch/Keras for this reproduction (see DESIGN.md).  Provides
+stateful layers with manual forward/backward passes, optimizers, losses
+and (de)serialization — everything the dropout-search framework needs.
+"""
+
+from repro.nn.activations import Flatten, LeakyReLU, ReLU
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import DTYPE, Identity, Module, Parameter
+from repro.nn.norm import BatchNorm2d
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, LRScheduler, StepLR
+from repro.nn.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "DTYPE",
+    "SGD",
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineAnnealingLR",
+    "CrossEntropyLoss",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "LRScheduler",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "StepLR",
+    "col2im",
+    "conv_output_size",
+    "im2col",
+    "load_checkpoint",
+    "log_softmax",
+    "one_hot",
+    "save_checkpoint",
+    "softmax",
+]

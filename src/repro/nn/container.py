@@ -1,0 +1,55 @@
+"""Module containers: Sequential composition."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Run layers in order on forward, in reverse on backward.
+
+    Layers may be addressed by integer index (``seq[2]``) and iterated.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        for layer in layers:
+            if not isinstance(layer, Module):
+                raise TypeError(
+                    f"Sequential accepts Module instances, got "
+                    f"{type(layer).__name__}")
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add ``layer`` at the end; returns self for chaining."""
+        if not isinstance(layer, Module):
+            raise TypeError(
+                f"Sequential accepts Module instances, got "
+                f"{type(layer).__name__}")
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Module, "Sequential"]:
+        if isinstance(index, slice):
+            return Sequential(*self.layers[index])
+        return self.layers[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)

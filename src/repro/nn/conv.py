@@ -1,0 +1,103 @@
+"""2-D convolution via im2col lowering, with manual backward pass."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int, check_shape_4d
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution over ``(N, C, H, W)`` inputs.
+
+    The forward pass lowers the input with :func:`im2col` and performs a
+    single matrix multiply per batch — the same lowering the HLS
+    accelerator model assumes, which keeps algorithm-side MAC counts and
+    hardware-side cycle estimates consistent.
+
+    Args:
+        in_channels: input channel count ``C``.
+        out_channels: number of filters ``F``.
+        kernel_size: square kernel side length.
+        stride: window stride.
+        padding: symmetric zero padding.
+        bias: whether to learn a per-filter bias.
+        rng: seed or generator for weight initialization.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 *, stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        self.in_channels = check_positive_int(in_channels, "in_channels")
+        self.out_channels = check_positive_int(out_channels, "out_channels")
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(stride, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.he_normal(weight_shape, rng))
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros((out_channels,))) if bias else None
+        )
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, h: int, w: int) -> Tuple[int, int]:
+        """Spatial output size for an ``(h, w)`` input."""
+        oh = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return oh, ow
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = check_shape_4d(x, "x")
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {c}"
+            )
+        oh, ow = self.output_shape(h, w)
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        # (F, CKK) @ (N, CKK, L) -> (N, F, L)
+        y = np.einsum("fk,nkl->nfl", w2d, cols, optimize=True)
+        if self.bias is not None:
+            y = y + self.bias.data[None, :, None]
+        return y.reshape(n, self.out_channels, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n = grad_out.shape[0]
+        g = grad_out.reshape(n, self.out_channels, -1)  # (N, F, L)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        grad_w = np.einsum("nfl,nkl->fk", g, self._cols, optimize=True)
+        self.weight.grad += grad_w.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 2))
+        grad_cols = np.einsum("fk,nfl->nkl", w2d, g, optimize=True)
+        grad_x = col2im(grad_cols, self._x_shape, self.kernel_size,
+                        self.stride, self.padding)
+        self._cols = None
+        self._x_shape = None
+        return grad_x
+
+    def macs_per_image(self, h: int, w: int) -> int:
+        """Multiply-accumulate count for one image — used by repro.hw."""
+        oh, ow = self.output_shape(h, w)
+        k2 = self.kernel_size * self.kernel_size
+        return oh * ow * self.out_channels * self.in_channels * k2
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding})")

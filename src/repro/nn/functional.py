@@ -1,0 +1,117 @@
+"""Stateless numerical kernels shared by the layer implementations.
+
+The convolution kernels use the im2col/col2im formulation: a convolution
+is lowered to one big matrix multiply, which is the same lowering most
+HLS dataflow accelerators (and hls4ml) use, so the hardware model in
+:mod:`repro.hw` can reason about the identical operation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import DTYPE
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial dimensions of ``(N, C, H, W)``."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size {out} for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower sliding windows of ``x`` to columns.
+
+    Args:
+        x: input of shape ``(N, C, H, W)``.
+        kernel: square kernel size.
+        stride: window stride.
+        padding: symmetric zero padding.
+
+    Returns:
+        Array of shape ``(N, C * kernel * kernel, OH * OW)`` where each
+        column holds one receptive field, flattened channel-major.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, padding)
+    ow = conv_output_size(w, kernel, stride, padding)
+    xp = pad2d(x, padding)
+    # windows: (N, C, OH, OW, KH, KW)
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # -> (N, C, KH, KW, OH, OW) -> (N, C*KH*KW, OH*OW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(cols, dtype=DTYPE)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
+           stride: int, padding: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image form.
+
+    Args:
+        cols: array of shape ``(N, C * kernel * kernel, OH * OW)``.
+        x_shape: original ``(N, C, H, W)`` input shape.
+        kernel, stride, padding: the window sweep parameters used forward.
+
+    Returns:
+        Array of shape ``x_shape`` with overlapping contributions summed.
+    """
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kernel, stride, padding)
+    ow = conv_output_size(w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=DTYPE)
+    cols6 = cols.reshape(n, c, kernel, kernel, oh, ow)
+    for ki in range(kernel):
+        i_end = ki + stride * oh
+        for kj in range(kernel):
+            j_end = kj + stride * ow
+            out[:, :, ki:i_end:stride, kj:j_end:stride] += cols6[:, :, ki, kj]
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = logits - np.max(logits, axis=axis, keepdims=True)
+    ez = np.exp(z)
+    return ez / np.sum(ez, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    z = logits - np.max(logits, axis=axis, keepdims=True)
+    return z - np.log(np.sum(np.exp(z), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` of shape ``(N,)`` as ``(N, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), "
+            f"got range [{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=DTYPE)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,53 @@
+"""Weight initialization schemes (He / Xavier) for the substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import DTYPE
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for linear or conv weight shapes.
+
+    Linear weights are ``(out, in)``; conv weights are
+    ``(out_ch, in_ch, kh, kw)`` with receptive-field size folded in.
+    """
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def he_normal(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Kaiming-He normal init, the default for ReLU networks."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Glorot-Xavier uniform init, suited to tanh/sigmoid heads."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero init (biases, batch-norm shifts)."""
+    return np.zeros(shape, dtype=DTYPE)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one init (batch-norm scales)."""
+    return np.ones(shape, dtype=DTYPE)

@@ -1,0 +1,58 @@
+"""Fully connected layer with manual backward pass."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W.T + b``.
+
+    Args:
+        in_features: input feature count.
+        out_features: output feature count.
+        bias: whether to learn an additive bias.
+        rng: seed or generator for weight initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 bias: bool = True, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        self.weight = Parameter(init.he_normal((out_features, in_features), rng))
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,))) if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        self.weight.grad += grad_out.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        self._x = None
+        return grad_out @ self.weight.data
+
+    def __repr__(self) -> str:
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, "
+                f"bias={self.bias is not None})")

@@ -1,0 +1,57 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.module import DTYPE
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy on raw logits, with optional label smoothing.
+
+    Usage::
+
+        loss = criterion(logits, targets)   # scalar float
+        dlogits = criterion.backward()      # (N, K) gradient
+
+    Args:
+        label_smoothing: mass uniformly redistributed across classes;
+            0.0 recovers plain cross-entropy.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(
+                f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._probs: Optional[np.ndarray] = None
+        self._targets_soft: Optional[np.ndarray] = None
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got {logits.shape}")
+        n, k = logits.shape
+        hard = one_hot(np.asarray(targets), k)
+        if self.label_smoothing > 0.0:
+            soft = (1.0 - self.label_smoothing) * hard + self.label_smoothing / k
+        else:
+            soft = hard
+        logp = log_softmax(logits, axis=1)
+        self._probs = softmax(logits, axis=1)
+        self._targets_soft = soft
+        return float(-(soft * logp).sum() / n)
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probs is None or self._targets_soft is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = (self._probs - self._targets_soft) / n
+        self._probs = None
+        self._targets_soft = None
+        return grad.astype(DTYPE)

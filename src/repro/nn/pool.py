@@ -1,0 +1,156 @@
+"""Pooling layers: max, average, and global average pooling."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, pad2d
+from repro.nn.module import DTYPE, Module
+from repro.utils.validation import check_positive_int, check_shape_4d
+
+
+def _windows(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Sliding windows ``(N, C, OH, OW, KH, KW)`` of a padded input."""
+    win = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    return win[:, :, ::stride, ::stride, :, :]
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows.
+
+    Args:
+        kernel_size: window side length.
+        stride: window stride; defaults to ``kernel_size``.
+        padding: symmetric zero padding (pads with ``-inf`` effectively,
+            because padded zeros never win against real activations when
+            inputs may be negative — we pad *after* recording shape and
+            mask out padded positions on the backward path).
+    """
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(
+            stride if stride is not None else kernel_size, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def output_shape(self, h: int, w: int) -> Tuple[int, int]:
+        """Spatial output size for an ``(h, w)`` input."""
+        oh = conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return oh, ow
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = check_shape_4d(x, "x")
+        self._x_shape = x.shape
+        xp = x if self.padding == 0 else np.pad(
+            x, ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
+            mode="constant", constant_values=-np.inf)
+        win = _windows(xp, self.kernel_size, self.stride)
+        n, c, oh, ow = win.shape[:4]
+        flat = win.reshape(n, c, oh, ow, -1)
+        self._argmax = flat.argmax(axis=-1)
+        return np.ascontiguousarray(flat.max(axis=-1), dtype=DTYPE)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        hp, wp = h + 2 * self.padding, w + 2 * self.padding
+        grad_pad = np.zeros((n, c, hp, wp), dtype=DTYPE)
+        oh, ow = grad_out.shape[2:]
+        ki = self._argmax // self.kernel_size
+        kj = self._argmax % self.kernel_size
+        oi = np.arange(oh)[None, None, :, None] * self.stride
+        oj = np.arange(ow)[None, None, None, :] * self.stride
+        rows = (oi + ki).ravel()
+        cols = (oj + kj).ravel()
+        ni = np.repeat(np.arange(n), c * oh * ow)
+        ci = np.tile(np.repeat(np.arange(c), oh * ow), n)
+        np.add.at(grad_pad, (ni, ci, rows, cols), grad_out.ravel())
+        if self.padding:
+            grad_pad = grad_pad[:, :, self.padding:-self.padding,
+                                self.padding:-self.padding]
+        self._argmax = None
+        self._x_shape = None
+        return grad_pad
+
+    def __repr__(self) -> str:
+        return (f"MaxPool2d(kernel_size={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding})")
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(
+            stride if stride is not None else kernel_size, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = check_shape_4d(x, "x")
+        self._x_shape = x.shape
+        xp = pad2d(x, self.padding)
+        win = _windows(xp, self.kernel_size, self.stride)
+        return np.ascontiguousarray(win.mean(axis=(-2, -1)), dtype=DTYPE)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        hp, wp = h + 2 * self.padding, w + 2 * self.padding
+        grad_pad = np.zeros((n, c, hp, wp), dtype=DTYPE)
+        oh, ow = grad_out.shape[2:]
+        share = grad_out / (self.kernel_size * self.kernel_size)
+        for ki in range(self.kernel_size):
+            for kj in range(self.kernel_size):
+                grad_pad[:, :, ki:ki + self.stride * oh:self.stride,
+                         kj:kj + self.stride * ow:self.stride] += share
+        if self.padding:
+            grad_pad = grad_pad[:, :, self.padding:-self.padding,
+                                self.padding:-self.padding]
+        self._x_shape = None
+        return grad_pad
+
+    def __repr__(self) -> str:
+        return (f"AvgPool2d(kernel_size={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding})")
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = check_shape_4d(x, "x")
+        self._x_shape = x.shape
+        return np.ascontiguousarray(x.mean(axis=(2, 3)), dtype=DTYPE)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        grad = np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w))
+        self._x_shape = None
+        return np.ascontiguousarray(grad, dtype=DTYPE)
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

@@ -1,0 +1,26 @@
+"""Checkpoint save/load for module state dicts (npz container)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to an ``.npz`` file at ``path``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str) -> Module:
+    """Load an ``.npz`` checkpoint into ``module`` in place and return it."""
+    with np.load(path) as data:
+        state: Dict[str, np.ndarray] = {key: data[key] for key in data.files}
+    module.load_state_dict(state)
+    return module

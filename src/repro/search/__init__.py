@@ -1,0 +1,103 @@
+"""Neural dropout search: SPOS supernet + evolutionary optimization.
+
+This package is the paper's core contribution: the layer-wise dropout
+search space (Sec. 3.2), one-shot supernet training (Sec. 3.3), the
+evolutionary algorithm with the scalarized aim of Eq. (2) (Sec. 3.4),
+and Pareto / exhaustive analysis tooling (Sec. 4.1, Fig. 4).
+"""
+
+from repro.search.constraints import ConstrainedAim, with_latency_budget
+from repro.search.evaluator import CandidateEvaluator, CandidateResult
+from repro.search.evolution import (
+    EvolutionConfig,
+    EvolutionarySearch,
+    GenerationStats,
+    SearchResult,
+    random_search,
+)
+from repro.search.exhaustive import (
+    METRIC_DIRECTIONS,
+    best_by_aim,
+    evaluate_all,
+    metric_matrix,
+    pareto_results,
+)
+from repro.search.multiobjective import (
+    MultiObjectiveResult,
+    MultiObjectiveSearch,
+)
+from repro.search.objective import (
+    ACCURACY_OPTIMAL,
+    AIM_PRESETS,
+    APE_OPTIMAL,
+    BALANCED,
+    ECE_OPTIMAL,
+    LATENCY_OPTIMAL,
+    SearchAim,
+    get_aim,
+)
+from repro.search.pareto import (
+    MAXIMIZE,
+    MINIMIZE,
+    dominates,
+    is_on_front,
+    pareto_front,
+    pareto_mask,
+)
+from repro.search.space import (
+    DropoutConfig,
+    SearchSpace,
+    SlotSpec,
+    config_from_string,
+    config_to_string,
+)
+from repro.search.supernet import Supernet
+from repro.search.trainer import (
+    TrainConfig,
+    TrainLog,
+    train_standalone,
+    train_supernet,
+)
+
+__all__ = [
+    "ACCURACY_OPTIMAL",
+    "AIM_PRESETS",
+    "APE_OPTIMAL",
+    "BALANCED",
+    "ECE_OPTIMAL",
+    "LATENCY_OPTIMAL",
+    "MAXIMIZE",
+    "METRIC_DIRECTIONS",
+    "MINIMIZE",
+    "MultiObjectiveResult",
+    "MultiObjectiveSearch",
+    "CandidateEvaluator",
+    "CandidateResult",
+    "ConstrainedAim",
+    "DropoutConfig",
+    "EvolutionConfig",
+    "EvolutionarySearch",
+    "GenerationStats",
+    "SearchAim",
+    "SearchResult",
+    "SearchSpace",
+    "SlotSpec",
+    "Supernet",
+    "TrainConfig",
+    "TrainLog",
+    "best_by_aim",
+    "config_from_string",
+    "config_to_string",
+    "dominates",
+    "evaluate_all",
+    "get_aim",
+    "is_on_front",
+    "metric_matrix",
+    "pareto_front",
+    "pareto_mask",
+    "pareto_results",
+    "random_search",
+    "train_standalone",
+    "train_supernet",
+    "with_latency_budget",
+]

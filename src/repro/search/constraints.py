@@ -1,0 +1,94 @@
+"""Constraint-aware search aims.
+
+The framework "receives ... specifications and search objectives"
+(paper Sec. 3.1) and is meant to respect deployment *constraints* such
+as a latency budget.  Scalarized aims (Eq. 2) express soft preferences;
+this module adds hard constraints by composing an aim with feasibility
+penalties, so the evolutionary algorithm works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bayes.evaluate import AlgorithmicReport
+from repro.search.objective import SearchAim
+
+#: Penalty slope applied per unit of constraint violation.  Large
+#: enough that any feasible candidate beats any infeasible one on the
+#: metric scales used here (accuracy/ECE in [0,1], aPE in nats).
+PENALTY_SLOPE = 1e3
+
+
+@dataclass(frozen=True)
+class ConstrainedAim:
+    """A :class:`SearchAim` subject to hard resource constraints.
+
+    Attributes:
+        base: the underlying scalarized aim.
+        max_latency_ms: latency budget; candidates above it are
+            penalized proportionally to the violation.
+        min_accuracy: optional accuracy floor.
+        max_ece: optional calibration ceiling.
+
+    The object is a drop-in replacement for :class:`SearchAim`: it
+    exposes ``score``/``name`` with the same signature, so
+    :class:`~repro.search.evolution.EvolutionarySearch` accepts it
+    directly.
+    """
+
+    base: SearchAim
+    max_latency_ms: Optional[float] = None
+    min_accuracy: Optional[float] = None
+    max_ece: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.max_latency_ms is None and self.min_accuracy is None
+                and self.max_ece is None):
+            raise ValueError("constrained aim needs at least one bound")
+        if self.max_latency_ms is not None and self.max_latency_ms <= 0:
+            raise ValueError(
+                f"max_latency_ms must be positive, got "
+                f"{self.max_latency_ms}")
+
+    @property
+    def name(self) -> str:
+        """Display name including the active bounds."""
+        bounds = []
+        if self.max_latency_ms is not None:
+            bounds.append(f"lat<={self.max_latency_ms}ms")
+        if self.min_accuracy is not None:
+            bounds.append(f"acc>={self.min_accuracy}")
+        if self.max_ece is not None:
+            bounds.append(f"ece<={self.max_ece}")
+        return f"{self.base.name} s.t. {', '.join(bounds)}"
+
+    def violation(self, report: AlgorithmicReport,
+                  latency_ms: float) -> float:
+        """Total constraint violation (0.0 when feasible)."""
+        violation = 0.0
+        if self.max_latency_ms is not None:
+            violation += max(0.0, float(latency_ms) - self.max_latency_ms)
+        if self.min_accuracy is not None:
+            violation += max(0.0, self.min_accuracy - report.accuracy)
+        if self.max_ece is not None:
+            violation += max(0.0, report.ece - self.max_ece)
+        return violation
+
+    def is_feasible(self, report: AlgorithmicReport,
+                    latency_ms: float) -> bool:
+        """True when every bound is satisfied."""
+        return self.violation(report, latency_ms) == 0.0
+
+    def score(self, report: AlgorithmicReport,
+              latency_ms: float) -> float:
+        """Base aim score minus a steep penalty per unit violation."""
+        return (self.base.score(report, latency_ms)
+                - PENALTY_SLOPE * self.violation(report, latency_ms))
+
+
+def with_latency_budget(base: SearchAim,
+                        max_latency_ms: float) -> ConstrainedAim:
+    """Convenience: constrain ``base`` to a latency budget."""
+    return ConstrainedAim(base=base, max_latency_ms=max_latency_ms)

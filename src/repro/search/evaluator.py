@@ -1,0 +1,99 @@
+"""Candidate evaluation shared by the EA and the exhaustive sweep.
+
+Each candidate configuration is evaluated on the validation split with
+the shared supernet weights (accuracy / ECE), on the OOD noise set
+(aPE), and on the hardware cost model (latency) — exactly the four
+signals the paper's Eq. (2) consumes.  Results are memoized because the
+evolutionary algorithm revisits configurations across generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.bayes.evaluate import AlgorithmicReport, evaluate_bayesnn
+from repro.data.dataset import Dataset
+from repro.search.objective import SearchAim
+from repro.search.space import DropoutConfig, config_to_string
+from repro.search.supernet import Supernet
+
+#: Signature of a hardware latency oracle: config -> latency in ms.
+LatencyFn = Callable[[DropoutConfig], float]
+
+
+@dataclass
+class CandidateResult:
+    """Everything measured about one evaluated configuration."""
+
+    config: DropoutConfig
+    report: AlgorithmicReport
+    latency_ms: float
+
+    @property
+    def config_string(self) -> str:
+        """Table-2 notation of the configuration."""
+        return config_to_string(self.config)
+
+    def aim_score(self, aim: SearchAim) -> float:
+        """Scalarized Eq. (2) value under ``aim``."""
+        return aim.score(self.report, self.latency_ms)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for table rendering."""
+        row = {"config": self.config_string,
+               "latency_ms": self.latency_ms}
+        row.update(self.report.as_dict())
+        return row
+
+
+class CandidateEvaluator:
+    """Memoizing evaluator of dropout configurations.
+
+    Args:
+        supernet: trained weight-sharing supernet.
+        val_data: validation split for accuracy/ECE (the paper
+            evaluates algorithmic metrics on the validation set).
+        ood_data: Gaussian-noise OOD set for aPE.
+        latency_fn: hardware latency oracle (GP cost model or the
+            analytic simulator); None fixes latency to 0 for
+            algorithm-only studies.
+        num_mc_samples: Monte-Carlo passes per evaluation (paper: 3).
+        batch_size: optional micro-batch size for memory control.
+    """
+
+    def __init__(self, supernet: Supernet, val_data: Dataset,
+                 ood_data: Dataset, *,
+                 latency_fn: Optional[LatencyFn] = None,
+                 num_mc_samples: int = 3,
+                 batch_size: Optional[int] = None) -> None:
+        self.supernet = supernet
+        self.val_data = val_data
+        self.ood_data = ood_data
+        self.latency_fn = latency_fn
+        self.num_mc_samples = int(num_mc_samples)
+        self.batch_size = batch_size
+        self._cache: Dict[DropoutConfig, CandidateResult] = {}
+        self.num_evaluations = 0
+
+    def evaluate(self, config: DropoutConfig) -> CandidateResult:
+        """Evaluate ``config`` (cached after the first call)."""
+        config = self.supernet.space.validate(tuple(config))
+        cached = self._cache.get(config)
+        if cached is not None:
+            return cached
+        self.supernet.set_config(config)
+        report = evaluate_bayesnn(
+            self.supernet, self.val_data, self.ood_data,
+            num_samples=self.num_mc_samples, batch_size=self.batch_size)
+        latency = float(self.latency_fn(config)) if self.latency_fn else 0.0
+        result = CandidateResult(config=config, report=report,
+                                 latency_ms=latency)
+        self._cache[config] = result
+        self.num_evaluations += 1
+        return result
+
+    @property
+    def cache(self) -> Dict[DropoutConfig, CandidateResult]:
+        """All evaluated candidates so far."""
+        return dict(self._cache)

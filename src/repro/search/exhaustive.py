@@ -1,0 +1,70 @@
+"""Exhaustive enumeration of a search space (Figure-4 reference sweep).
+
+The paper validates the search by iterating through and evaluating *all*
+configurations on the validation set, then checking the EA's picks land
+on the reference Pareto frontier.  Feasible whenever ``prod(M_i)`` is
+small (LeNet: 4*4*2 = 32; VGG/ResNet: 4^4 = 256).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.search.evaluator import CandidateEvaluator, CandidateResult
+from repro.search.objective import SearchAim
+from repro.search.pareto import pareto_mask
+
+
+def evaluate_all(evaluator: CandidateEvaluator) -> List[CandidateResult]:
+    """Evaluate every configuration in the evaluator's space, in order."""
+    return [evaluator.evaluate(cfg)
+            for cfg in evaluator.supernet.space.enumerate()]
+
+
+def best_by_aim(results: Sequence[CandidateResult],
+                aim: SearchAim) -> CandidateResult:
+    """The configuration maximizing the scalarized aim."""
+    if not results:
+        raise ValueError("no results to select from")
+    return max(results, key=lambda r: r.aim_score(aim))
+
+
+def metric_matrix(results: Sequence[CandidateResult],
+                  metrics: Sequence[str]) -> np.ndarray:
+    """Stack chosen metrics into an ``(n, k)`` matrix.
+
+    Metric names: ``accuracy``, ``ece``, ``ape``, ``latency_ms``,
+    ``nll``, ``brier``.
+    """
+    rows = []
+    for result in results:
+        row = result.as_row()
+        try:
+            rows.append([float(row[m]) for m in metrics])
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown metric {exc.args[0]!r}; available: "
+                f"{sorted(row)}") from exc
+    return np.asarray(rows, dtype=np.float64)
+
+
+#: Optimization direction of every known metric.
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "accuracy": "max",
+    "ape": "max",
+    "ece": "min",
+    "latency_ms": "min",
+    "nll": "min",
+    "brier": "min",
+}
+
+
+def pareto_results(results: Sequence[CandidateResult],
+                   metrics: Sequence[str]) -> List[CandidateResult]:
+    """Non-dominated subset of ``results`` under ``metrics``."""
+    directions = [METRIC_DIRECTIONS[m] for m in metrics]
+    points = metric_matrix(results, metrics)
+    mask = pareto_mask(points, directions)
+    return [r for r, keep in zip(results, mask) if keep]

@@ -1,0 +1,200 @@
+"""Multi-objective evolutionary search (NSGA-II-style).
+
+The paper runs one scalarized search per aim and then *verifies* the
+results against the exhaustive Pareto frontier (Fig. 4).  This module
+provides the natural generalization: a single evolutionary run that
+approximates the whole frontier at once, using non-dominated sorting
+with crowding-distance selection (Deb et al., 2002).  One run yields
+the full menu of trade-off designs the paper obtains from four
+scalarized searches.
+
+Objectives are drawn from :data:`repro.search.exhaustive.METRIC_DIRECTIONS`
+(``accuracy`` max, ``ece`` min, ``ape`` max, ``latency_ms`` min, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.search.evaluator import CandidateEvaluator, CandidateResult
+from repro.search.evolution import EvolutionConfig
+from repro.search.exhaustive import METRIC_DIRECTIONS
+from repro.search.pareto import pareto_mask
+from repro.search.space import DropoutConfig, SearchSpace
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class MultiObjectiveResult:
+    """Outcome of one multi-objective search run."""
+
+    front: List[CandidateResult]
+    metrics: Tuple[str, ...]
+    num_evaluations: int
+    generations: int
+
+    def front_points(self) -> np.ndarray:
+        """Objective matrix of the returned front, shape ``(n, k)``."""
+        rows = []
+        for result in self.front:
+            row = result.as_row()
+            rows.append([float(row[m]) for m in self.metrics])
+        return np.asarray(rows, dtype=np.float64)
+
+
+def _objective_vector(result: CandidateResult,
+                      metrics: Sequence[str]) -> List[float]:
+    row = result.as_row()
+    return [float(row[m]) for m in metrics]
+
+
+def _non_dominated_sort(points: np.ndarray,
+                        directions: Sequence[str]) -> List[np.ndarray]:
+    """Partition points into successive non-dominated fronts."""
+    remaining = np.arange(points.shape[0])
+    fronts: List[np.ndarray] = []
+    while remaining.size:
+        mask = pareto_mask(points[remaining], directions)
+        fronts.append(remaining[mask])
+        remaining = remaining[~mask]
+    return fronts
+
+
+def _crowding_distance(points: np.ndarray) -> np.ndarray:
+    """Crowding distance of each point within one front."""
+    n, k = points.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(k):
+        order = np.argsort(points[:, j])
+        span = points[order[-1], j] - points[order[0], j]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        gaps = (points[order[2:], j] - points[order[:-2], j]) / span
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+class MultiObjectiveSearch:
+    """NSGA-II-lite search over dropout configurations.
+
+    Args:
+        evaluator: memoizing candidate evaluator.
+        metrics: objective names from
+            :data:`repro.search.exhaustive.METRIC_DIRECTIONS`.
+        config: population/generation budget (mutation and crossover
+            settings are shared with the scalarized EA).
+        rng: seed or generator.
+    """
+
+    def __init__(self, evaluator: CandidateEvaluator,
+                 metrics: Sequence[str] = ("ece", "ape", "accuracy"), *,
+                 config: EvolutionConfig = None,
+                 rng: SeedLike = None) -> None:
+        unknown = [m for m in metrics if m not in METRIC_DIRECTIONS]
+        if unknown:
+            raise KeyError(
+                f"unknown metrics {unknown}; known: "
+                f"{sorted(METRIC_DIRECTIONS)}")
+        if len(metrics) < 2:
+            raise ValueError("multi-objective search needs >= 2 metrics")
+        self.evaluator = evaluator
+        self.metrics = tuple(metrics)
+        self.directions = [METRIC_DIRECTIONS[m] for m in metrics]
+        self.config = config or EvolutionConfig()
+        self.rng = new_rng(rng)
+        self.space: SearchSpace = evaluator.supernet.space
+
+    # ------------------------------------------------------------------
+    # Genetic operators (shared semantics with the scalarized EA)
+    # ------------------------------------------------------------------
+    def _mutate(self, parent: DropoutConfig) -> DropoutConfig:
+        genes = list(parent)
+        for i, slot in enumerate(self.space.slots):
+            if self.rng.random() < self.config.mutation_prob:
+                genes[i] = slot.choices[self.rng.integers(len(slot.choices))]
+        return tuple(genes)
+
+    def _crossover(self, a: DropoutConfig, b: DropoutConfig) -> DropoutConfig:
+        return tuple(a[i] if self.rng.random() < 0.5 else b[i]
+                     for i in range(self.space.num_slots))
+
+    def _select(self, population: List[DropoutConfig]
+                ) -> List[DropoutConfig]:
+        """Environmental selection: fronts first, crowding within."""
+        results = [self.evaluator.evaluate(c) for c in population]
+        points = np.asarray([_objective_vector(r, self.metrics)
+                             for r in results])
+        fronts = _non_dominated_sort(points, self.directions)
+        target = max(2, self.config.population_size // 2)
+        chosen: List[DropoutConfig] = []
+        for front in fronts:
+            if len(chosen) + front.size <= target:
+                chosen.extend(population[i] for i in front)
+            else:
+                crowd = _crowding_distance(points[front])
+                order = front[np.argsort(-crowd)]
+                for i in order[: target - len(chosen)]:
+                    chosen.append(population[i])
+            if len(chosen) >= target:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> MultiObjectiveResult:
+        """Execute the search and return the final non-dominated set."""
+        cfg = self.config
+        population: List[DropoutConfig] = []
+        seen = set()
+        if cfg.seed_uniform:
+            for config in self.space.uniform_configs():
+                if len(population) >= cfg.population_size:
+                    break
+                population.append(config)
+                seen.add(config)
+        attempts = 0
+        while (len(population) < cfg.population_size
+               and attempts < 50 * cfg.population_size):
+            candidate = self.space.sample(self.rng)
+            attempts += 1
+            if candidate not in seen or len(seen) >= self.space.size:
+                population.append(candidate)
+                seen.add(candidate)
+
+        for _ in range(cfg.generations):
+            parents = self._select(population)
+            children: List[DropoutConfig] = []
+            while len(parents) + len(children) < cfg.population_size:
+                if self.rng.random() < cfg.mutation_fraction:
+                    child = self._mutate(
+                        parents[self.rng.integers(len(parents))])
+                else:
+                    child = self._crossover(
+                        parents[self.rng.integers(len(parents))],
+                        parents[self.rng.integers(len(parents))])
+                children.append(child)
+            population = parents + children
+
+        results = [self.evaluator.evaluate(c) for c in population]
+        # Deduplicate configs, then return the non-dominated subset.
+        unique: Dict[DropoutConfig, CandidateResult] = {
+            r.config: r for r in results}
+        final = list(unique.values())
+        points = np.asarray([_objective_vector(r, self.metrics)
+                             for r in final])
+        mask = pareto_mask(points, self.directions)
+        front = [r for r, keep in zip(final, mask) if keep]
+        return MultiObjectiveResult(
+            front=front,
+            metrics=self.metrics,
+            num_evaluations=self.evaluator.num_evaluations,
+            generations=cfg.generations,
+        )

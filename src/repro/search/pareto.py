@@ -1,0 +1,83 @@
+"""Pareto-dominance utilities for the Figure-4 analysis.
+
+The paper plots every configuration in (ECE, aPE, Accuracy) space and
+shows the searched configurations land on the reference Pareto frontier.
+These helpers implement dominance with per-objective directions so the
+same code serves any metric subset.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Direction labels: maximize or minimize each objective.
+MAXIMIZE = "max"
+MINIMIZE = "min"
+
+
+def _oriented(points: np.ndarray, directions: Sequence[str]) -> np.ndarray:
+    """Flip minimized columns so that larger is uniformly better."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    if points.shape[1] != len(directions):
+        raise ValueError(
+            f"{points.shape[1]} objectives but {len(directions)} directions")
+    oriented = points.copy()
+    for j, direction in enumerate(directions):
+        if direction == MINIMIZE:
+            oriented[:, j] = -oriented[:, j]
+        elif direction != MAXIMIZE:
+            raise ValueError(
+                f"direction must be 'max' or 'min', got {direction!r}")
+    return oriented
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              directions: Sequence[str]) -> bool:
+    """True if point ``a`` Pareto-dominates point ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good in every objective
+    and strictly better in at least one.
+    """
+    pts = _oriented(np.array([a, b]), directions)
+    return bool(np.all(pts[0] >= pts[1]) and np.any(pts[0] > pts[1]))
+
+
+def pareto_mask(points: np.ndarray, directions: Sequence[str]) -> np.ndarray:
+    """Boolean mask of non-dominated points.
+
+    Duplicate points are all retained (none strictly dominates another).
+    """
+    oriented = _oriented(points, directions)
+    n = oriented.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        ge = np.all(oriented >= oriented[i], axis=1)
+        gt = np.any(oriented > oriented[i], axis=1)
+        if np.any(ge & gt):
+            mask[i] = False
+    return mask
+
+
+def pareto_front(points: np.ndarray,
+                 directions: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (front_points, front_indices) of the non-dominated set."""
+    points = np.asarray(points, dtype=np.float64)
+    mask = pareto_mask(points, directions)
+    idx = np.flatnonzero(mask)
+    return points[idx], idx
+
+
+def is_on_front(point: Sequence[float], points: np.ndarray,
+                directions: Sequence[str]) -> bool:
+    """True if ``point`` is not dominated by any row of ``points``."""
+    point = np.asarray(point, dtype=np.float64)
+    for other in np.asarray(points, dtype=np.float64):
+        if dominates(other, point, directions):
+            return False
+    return True

@@ -1,0 +1,88 @@
+"""Weight-sharing supernet for single-path one-shot search (Sec. 3.3).
+
+The supernet holds, in every specified dropout slot, one instance of
+each admissible dropout design (the *choice bank*).  Selecting a
+configuration activates one design per slot in O(1) without touching the
+shared convolution/linear weights — the weight-sharing trick of SPOS
+[16] that collapses training cost from ``O(prod M_i)`` to ``O(1)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.slots import DropoutSlot, collect_slots
+from repro.nn.module import Module
+from repro.search.space import DropoutConfig, SearchSpace
+from repro.utils.rng import SeedLike, child_rng, new_rng
+
+
+class Supernet(Module):
+    """A model whose dropout slots carry full choice banks.
+
+    Args:
+        model: backbone with :class:`DropoutSlot` layers.
+        p: drop rate given to the dynamic designs in every bank.
+        num_masks: Masksembles family size (paper: the MC sampling
+            number, 3–4).
+        scale: Masksembles overlap scale.
+        block_size: Block-dropout patch size.
+        rng: seed or generator; each slot gets an independent stream.
+    """
+
+    def __init__(self, model: Module, *, p: float = 0.25,
+                 num_masks: int = 4, scale: float = 2.0,
+                 block_size: int = 3, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.model = model
+        self._slots: List[DropoutSlot] = collect_slots(model)
+        if not self._slots:
+            raise ValueError("model exposes no DropoutSlot layers")
+        root = new_rng(rng)
+        for slot in self._slots:
+            slot.build_choice_bank(
+                rng=child_rng(root), p=p, num_masks=num_masks,
+                scale=scale, block_size=block_size)
+        self.space = SearchSpace.from_model(model)
+        self._active_config: Optional[DropoutConfig] = None
+
+    # ------------------------------------------------------------------
+    # Path selection
+    # ------------------------------------------------------------------
+    @property
+    def slots(self) -> List[DropoutSlot]:
+        """The specified dropout slots, in network order."""
+        return list(self._slots)
+
+    @property
+    def active_config(self) -> Optional[DropoutConfig]:
+        """The currently selected configuration, if any."""
+        return self._active_config
+
+    def set_config(self, config: DropoutConfig) -> None:
+        """Activate the sub-network given by ``config``."""
+        config = self.space.validate(tuple(config))
+        for slot, code in zip(self._slots, config):
+            slot.select(code)
+        self._active_config = config
+
+    def sample_config(self, rng: SeedLike = None) -> DropoutConfig:
+        """Uniformly sample and activate a path (SPOS training step)."""
+        config = self.space.sample(rng)
+        self.set_config(config)
+        return config
+
+    # ------------------------------------------------------------------
+    # Module interface — delegate to the backbone
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._active_config is None:
+            raise RuntimeError(
+                "no active configuration; call set_config() or "
+                "sample_config() before forward")
+        return self.model(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.model.backward(grad_out)

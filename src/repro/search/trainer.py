@@ -1,0 +1,140 @@
+"""Training loops: SPOS supernet training and stand-alone training.
+
+Phase 2 of the framework (paper Sec. 3.3): within each iteration a
+candidate sub-network is uniformly sampled by randomly selecting a
+dropout design in every specified slot; gradients update the *shared*
+weights.  Training and search are thereby decoupled — the supernet is
+trained once and every candidate can afterwards be evaluated directly
+with shared weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataset import DataLoader, Dataset
+from repro.nn.module import Module
+from repro.search.supernet import Supernet
+from repro.utils.rng import SeedLike, child_rng, new_rng
+from repro.utils.timers import Timer
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class TrainLog:
+    """Record of one training run.
+
+    Attributes:
+        epoch_losses: mean loss per epoch.
+        wall_seconds: total wall-clock training time.
+        steps: optimizer steps taken.
+    """
+
+    epoch_losses: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    steps: int = 0
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters shared by both trainers."""
+
+    epochs: int = 8
+    batch_size: int = 32
+    lr: float = 2e-3
+    weight_decay: float = 0.0
+    optimizer: str = "adam"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.epochs, "epochs")
+        check_positive_int(self.batch_size, "batch_size")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(
+                f"optimizer must be 'adam' or 'sgd', got {self.optimizer!r}")
+
+
+def _build_optimizer(model: Module, cfg: TrainConfig) -> nn.optim.Optimizer:
+    if cfg.optimizer == "adam":
+        return nn.Adam(model.parameters(), lr=cfg.lr,
+                       weight_decay=cfg.weight_decay)
+    return nn.SGD(model.parameters(), lr=cfg.lr, momentum=0.9,
+                  weight_decay=cfg.weight_decay)
+
+
+def train_supernet(supernet: Supernet, train_data: Dataset,
+                   config: Optional[TrainConfig] = None, *,
+                   rng: SeedLike = None) -> TrainLog:
+    """Train a supernet with single-path one-shot uniform sampling.
+
+    Every optimizer step first activates a uniformly sampled dropout
+    configuration, then performs a standard forward/backward/update on
+    the shared weights.
+
+    Args:
+        supernet: the weight-sharing supernet to train.
+        train_data: training split.
+        config: training hyper-parameters (defaults are CI-scale).
+        rng: seed; controls both batching and path sampling.
+
+    Returns:
+        A :class:`TrainLog` with per-epoch losses and wall time.
+    """
+    cfg = config or TrainConfig()
+    root = new_rng(rng)
+    criterion = nn.CrossEntropyLoss()
+    optimizer = _build_optimizer(supernet, cfg)
+    log = TrainLog()
+    supernet.train()
+    with Timer() as timer:
+        for epoch in range(cfg.epochs):
+            loader = DataLoader(train_data, cfg.batch_size,
+                                rng=child_rng(root))
+            losses = []
+            for images, labels in loader:
+                supernet.sample_config(root)
+                loss = criterion(supernet(images), labels)
+                optimizer.zero_grad()
+                supernet.backward(criterion.backward())
+                optimizer.step()
+                losses.append(loss)
+                log.steps += 1
+            log.epoch_losses.append(float(np.mean(losses)))
+    log.wall_seconds = timer.elapsed
+    return log
+
+
+def train_standalone(model: Module, train_data: Dataset,
+                     config: Optional[TrainConfig] = None, *,
+                     rng: SeedLike = None) -> TrainLog:
+    """Train a fixed model (no path sampling).
+
+    Used for the uniform-dropout baselines trained from scratch and for
+    the SPOS-fidelity ablation (bench A1).
+    """
+    cfg = config or TrainConfig()
+    root = new_rng(rng)
+    criterion = nn.CrossEntropyLoss()
+    optimizer = _build_optimizer(model, cfg)
+    log = TrainLog()
+    model.train()
+    with Timer() as timer:
+        for epoch in range(cfg.epochs):
+            loader = DataLoader(train_data, cfg.batch_size,
+                                rng=child_rng(root))
+            losses = []
+            for images, labels in loader:
+                loss = criterion(model(images), labels)
+                optimizer.zero_grad()
+                model.backward(criterion.backward())
+                optimizer.step()
+                losses.append(loss)
+                log.steps += 1
+            log.epoch_losses.append(float(np.mean(losses)))
+    log.wall_seconds = timer.elapsed
+    return log

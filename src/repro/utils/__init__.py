@@ -1,0 +1,19 @@
+"""Shared utilities: seeded randomness, validation helpers, and timers."""
+
+from repro.utils.rng import child_rng, new_rng, spawn_rngs
+from repro.utils.timers import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_shape_4d,
+)
+
+__all__ = [
+    "Timer",
+    "check_fraction",
+    "check_positive_int",
+    "check_shape_4d",
+    "child_rng",
+    "new_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,46 @@
+"""Wall-clock timing utilities used by the search-cost accounting."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example::
+
+        with Timer() as t:
+            run_search()
+        print(t.elapsed)  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the accumulated elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (live while running, frozen once stopped)."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed

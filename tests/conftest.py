@@ -1,0 +1,58 @@
+"""Shared fixtures: tiny datasets and a trained supernet.
+
+Session-scoped fixtures keep the expensive artifacts (synthetic data,
+supernet training) to one construction per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_noise_like, make_mnist_like, split_dataset
+from repro.models import build_model
+from repro.search import Supernet, TrainConfig, train_supernet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """A small normalized MNIST-like dataset (16x16, 400 images)."""
+    return make_mnist_like(400, image_size=16, rng=100).normalized()
+
+
+@pytest.fixture(scope="session")
+def mnist_splits(mnist_small):
+    """Train/val/test splits of :func:`mnist_small`."""
+    return split_dataset(mnist_small, rng=101)
+
+
+@pytest.fixture(scope="session")
+def ood_small(mnist_splits):
+    """Gaussian-noise OOD set matched to the small training split."""
+    return gaussian_noise_like(mnist_splits.train, 80, rng=102)
+
+
+@pytest.fixture(scope="session")
+def trained_supernet(mnist_splits):
+    """A slim-LeNet supernet trained for a few SPOS epochs.
+
+    Shared by search/bayes/hw tests; tests must not mutate weights.
+    """
+    model = build_model("lenet_slim", image_size=16, rng=103)
+    supernet = Supernet(model, p=0.15, scale=1.7, rng=104)
+    train_supernet(supernet, mnist_splits.train, TrainConfig(epochs=8),
+                   rng=105)
+    return supernet
+
+
+@pytest.fixture()
+def fresh_supernet():
+    """An untrained slim-LeNet supernet safe to mutate."""
+    model = build_model("lenet_slim", image_size=16, rng=106)
+    return Supernet(model, p=0.2, scale=1.7, rng=107)

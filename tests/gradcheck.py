@@ -1,0 +1,80 @@
+"""Numeric gradient-checking helpers shared by the nn layer tests.
+
+Central differences on a scalar loss ``0.5 * sum(w * f(x)^2)`` with a
+fixed random weighting ``w`` — a smooth functional that exercises every
+output element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def layer_input_gradcheck(layer: Module, x: np.ndarray, *, eps: float = 1e-3,
+                          atol: float = 2e-3, rtol: float = 2e-2,
+                          num_checks: int = 6, seed: int = 0) -> None:
+    """Assert the layer's input gradient matches central differences."""
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=np.float32)
+    out = layer(x)
+    w = rng.normal(size=out.shape).astype(np.float32)
+
+    def loss_of(x_val: np.ndarray) -> float:
+        y = layer(x_val)
+        return float(0.5 * np.sum(w * y.astype(np.float64) ** 2))
+
+    out = layer(x)
+    grad_out = (w * out).astype(np.float32)
+    grad_in = layer.backward(grad_out)
+    assert grad_in.shape == x.shape
+
+    flat = x.copy().ravel()
+    idxs = rng.choice(flat.size, size=min(num_checks, flat.size),
+                      replace=False)
+    for k in idxs:
+        xp = x.copy().ravel()
+        xp[k] += eps
+        xm = x.copy().ravel()
+        xm[k] -= eps
+        num = (loss_of(xp.reshape(x.shape)) - loss_of(xm.reshape(x.shape))
+               ) / (2 * eps)
+        ana = float(grad_in.ravel()[k])
+        assert abs(num - ana) <= atol + rtol * abs(num), (
+            f"input grad mismatch at {k}: analytic {ana}, numeric {num}")
+
+
+def layer_param_gradcheck(layer: Module, x: np.ndarray, *, eps: float = 1e-3,
+                          atol: float = 2e-3, rtol: float = 2e-2,
+                          num_checks: int = 4, seed: int = 1) -> None:
+    """Assert each parameter's gradient matches central differences."""
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=np.float32)
+    out = layer(x)
+    w = rng.normal(size=out.shape).astype(np.float32)
+
+    def loss_now() -> float:
+        y = layer(x)
+        return float(0.5 * np.sum(w * y.astype(np.float64) ** 2))
+
+    for name, param in layer.named_parameters():
+        layer.zero_grad()
+        y = layer(x)
+        layer.backward((w * y).astype(np.float32))
+        grad = param.grad.copy()
+        flat_idx = rng.choice(param.data.size,
+                              size=min(num_checks, param.data.size),
+                              replace=False)
+        for k in flat_idx:
+            orig = float(param.data.ravel()[k])
+            param.data.ravel()[k] = orig + eps
+            lp = loss_now()
+            param.data.ravel()[k] = orig - eps
+            lm = loss_now()
+            param.data.ravel()[k] = orig
+            num = (lp - lm) / (2 * eps)
+            ana = float(grad.ravel()[k])
+            assert abs(num - ana) <= atol + rtol * abs(num), (
+                f"param {name} grad mismatch at {k}: analytic {ana}, "
+                f"numeric {num}")

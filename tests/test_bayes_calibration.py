@@ -1,0 +1,115 @@
+"""Tests for reliability diagrams and temperature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import expected_calibration_error, negative_log_likelihood
+from repro.bayes.calibration import (
+    ReliabilityBin,
+    TemperatureScaler,
+    ece_from_diagram,
+    reliability_diagram,
+)
+from repro.nn.functional import softmax
+
+
+def overconfident_logits(n=400, k=4, seed=0):
+    """Logits that are right ~60% of the time but 99% confident."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, k, n)
+    predicted = np.where(rng.random(n) < 0.6, labels,
+                         (labels + 1) % k)
+    logits = np.full((n, k), -3.0)
+    logits[np.arange(n), predicted] = 6.0
+    return logits, labels
+
+
+class TestReliabilityDiagram:
+    def test_bin_count(self):
+        probs = np.full((20, 2), 0.5)
+        bins = reliability_diagram(probs, np.zeros(20, dtype=int),
+                                   num_bins=5)
+        assert len(bins) == 5
+
+    def test_total_count_preserved(self):
+        rng = np.random.default_rng(1)
+        raw = rng.random((50, 3))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        bins = reliability_diagram(probs, rng.integers(0, 3, 50))
+        assert sum(b.count for b in bins) == 50
+
+    def test_perfectly_calibrated_gap_zero(self):
+        probs = np.tile([0.75, 0.25], (8, 1))
+        labels = np.array([0] * 6 + [1] * 2)
+        bins = reliability_diagram(probs, labels)
+        populated = [b for b in bins if b.count]
+        assert len(populated) == 1
+        assert populated[0].gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_ece_recomposition_matches_metric(self):
+        logits, labels = overconfident_logits()
+        probs = softmax(logits, axis=1)
+        bins = reliability_diagram(probs, labels)
+        assert ece_from_diagram(bins) == pytest.approx(
+            expected_calibration_error(probs, labels), abs=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            reliability_diagram(np.zeros((0, 2)), np.array([], dtype=int))
+
+    def test_empty_diagram_raises(self):
+        with pytest.raises(ValueError):
+            ece_from_diagram([ReliabilityBin(0, 1, 0, 0, 0)])
+
+
+class TestTemperatureScaler:
+    def test_softens_overconfident_model(self):
+        logits, labels = overconfident_logits()
+        scaler = TemperatureScaler().fit(logits, labels)
+        assert scaler.temperature > 1.0
+
+    def test_improves_nll_and_ece(self):
+        logits, labels = overconfident_logits()
+        before = softmax(logits, axis=1)
+        after = TemperatureScaler().fit_transform(logits, labels)
+        assert (negative_log_likelihood(after, labels)
+                <= negative_log_likelihood(before, labels) + 1e-9)
+        assert (expected_calibration_error(after, labels)
+                < expected_calibration_error(before, labels))
+
+    def test_preserves_predictions(self):
+        logits, labels = overconfident_logits()
+        after = TemperatureScaler().fit_transform(logits, labels)
+        assert np.array_equal(after.argmax(axis=1), logits.argmax(axis=1))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaler().transform(np.zeros((1, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TemperatureScaler().fit(np.zeros((0, 2)),
+                                    np.array([], dtype=int))
+
+    def test_well_calibrated_temperature_near_one(self):
+        rng = np.random.default_rng(2)
+        # Labels drawn FROM the model's own softmax: calibrated by
+        # construction, so the fitted temperature stays near 1.
+        logits = rng.normal(0, 2.0, size=(2000, 3))
+        probs = softmax(logits, axis=1)
+        labels = np.array([rng.choice(3, p=p) for p in probs])
+        scaler = TemperatureScaler().fit(logits, labels)
+        assert scaler.temperature == pytest.approx(1.0, abs=0.25)
+
+
+class TestOnTrainedModel:
+    def test_mc_dropout_calibration_pipeline(self, trained_supernet,
+                                             mnist_splits):
+        """End-to-end: reliability diagram of the MC posterior."""
+        from repro.bayes import mc_predict
+        trained_supernet.set_config(("B", "B", "B"))
+        pred = mc_predict(trained_supernet, mnist_splits.val.images, 3)
+        bins = reliability_diagram(pred.mean_probs,
+                                   mnist_splits.val.labels)
+        assert sum(b.count for b in bins) == len(mnist_splits.val)
+        assert ece_from_diagram(bins) >= 0.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.command == "search"
+        assert args.model == "lenet_slim"
+        assert args.aims == ["accuracy", "ece", "ape", "latency"]
+
+    def test_generate_requires_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize"])
+
+
+class TestCommands:
+    def test_search_runs(self, capsys):
+        code = main([
+            "search", "--model", "lenet_slim", "--dataset", "mnist_like",
+            "--image-size", "16", "--dataset-size", "200",
+            "--epochs", "2", "--aims", "latency",
+            "--population", "4", "--generations", "2", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "search space" in out
+        assert "Latency Optimal" in out
+
+    def test_report_runs(self, capsys):
+        code = main([
+            "report", "--model", "lenet_slim", "--image-size", "16",
+            "--dataset-size", "120", "--config", "B-K-M", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Synthesis Report" in out
+        assert "B-K-M" in out
+
+    def test_generate_emits_project(self, tmp_path, capsys):
+        outdir = str(tmp_path / "gen")
+        code = main([
+            "generate", "--model", "lenet_slim", "--image-size", "16",
+            "--dataset-size", "120", "--config", "M-M-M",
+            "--outdir", outdir, "--project-name", "cli_gen",
+            "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "gen" / "firmware" / "cli_gen.cpp").exists()
+        assert "emitted" in out
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            main([
+                "report", "--model", "lenet_slim", "--image-size", "16",
+                "--dataset-size", "120", "--config", "K-K-K",
+            ])

@@ -1,0 +1,109 @@
+"""Tests for Dataset/DataLoader/splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, Dataset, split_dataset
+
+
+def toy_dataset(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, 2, 4, 4)), rng.integers(0, 3, n),
+                   name="toy", num_classes=3)
+
+
+class TestDataset:
+    def test_len_and_shape(self):
+        ds = toy_dataset(12)
+        assert len(ds) == 12
+        assert ds.image_shape == (2, 4, 4)
+
+    def test_rejects_3d_images(self):
+        with pytest.raises(ValueError, match=r"\(N, C, H, W\)"):
+            Dataset(np.zeros((3, 4, 4)), np.zeros(3, dtype=int),
+                    name="bad", num_classes=2)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            Dataset(np.zeros((3, 1, 2, 2)), np.zeros(4, dtype=int),
+                    name="bad", num_classes=2)
+
+    def test_subset(self):
+        ds = toy_dataset(10)
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+        assert np.array_equal(sub.images[1], ds.images[5])
+
+    def test_channel_stats(self):
+        ds = toy_dataset(200)
+        mean, std = ds.channel_stats()
+        assert mean.shape == (2,)
+        assert np.all(std > 0)
+
+    def test_normalized_is_standard(self):
+        ds = toy_dataset(200).normalized()
+        mean, std = ds.channel_stats()
+        assert np.allclose(mean, 0.0, atol=1e-5)
+        assert np.allclose(std, 1.0, atol=1e-4)
+
+
+class TestSplits:
+    def test_partition_is_complete_and_disjoint(self):
+        ds = toy_dataset(100)
+        splits = split_dataset(ds, val_fraction=0.2, test_fraction=0.1,
+                               rng=0)
+        total = len(splits.train) + len(splits.val) + len(splits.test)
+        assert total == 100
+        assert len(splits.val) == 20
+        assert len(splits.test) == 10
+        # Disjointness via unique image fingerprints.
+        def keys(d):
+            return {d.images[i].tobytes() for i in range(len(d))}
+        assert not (keys(splits.train) & keys(splits.val))
+        assert not (keys(splits.train) & keys(splits.test))
+
+    def test_deterministic_with_seed(self):
+        ds = toy_dataset(50)
+        a = split_dataset(ds, rng=7)
+        b = split_dataset(ds, rng=7)
+        assert np.array_equal(a.train.labels, b.train.labels)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            split_dataset(toy_dataset(), val_fraction=0.6,
+                          test_fraction=0.5)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(toy_dataset(10), batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        loader = DataLoader(toy_dataset(10), batch_size=4, shuffle=False,
+                            drop_last=True)
+        assert [b[0].shape[0] for b in loader] == [4, 4]
+        assert len(loader) == 2
+
+    def test_len_without_drop_last(self):
+        assert len(DataLoader(toy_dataset(10), batch_size=4)) == 3
+
+    def test_covers_all_samples(self):
+        ds = toy_dataset(20)
+        loader = DataLoader(ds, batch_size=6, rng=0)
+        seen = np.concatenate([y for _, y in loader])
+        assert len(seen) == 20
+
+    def test_shuffle_changes_order(self):
+        ds = toy_dataset(40)
+        loader = DataLoader(ds, batch_size=40, rng=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = toy_dataset(10)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        _, y = next(iter(loader))
+        assert np.array_equal(y, ds.labels)

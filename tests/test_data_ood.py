@@ -1,0 +1,47 @@
+"""Tests for Gaussian-noise OOD generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_noise_like, make_mnist_like
+
+
+class TestGaussianNoise:
+    def test_shape_matches_source(self):
+        ds = make_mnist_like(50, image_size=16, rng=0)
+        ood = gaussian_noise_like(ds, 30, rng=1)
+        assert ood.images.shape == (30, 1, 16, 16)
+
+    def test_statistics_match_source(self):
+        # Paper Sec 4.1: noise uses the training data's mean and std.
+        ds = make_mnist_like(400, image_size=16, rng=0).normalized()
+        ood = gaussian_noise_like(ds, 400, rng=1)
+        src_mean, src_std = ds.channel_stats()
+        ood_mean, ood_std = ood.channel_stats()
+        assert np.allclose(src_mean, ood_mean, atol=0.1)
+        assert np.allclose(src_std, ood_std, atol=0.1)
+
+    def test_name_tags_source(self):
+        ds = make_mnist_like(10, image_size=16, rng=0)
+        assert "ood_noise" in gaussian_noise_like(ds, 5, rng=0).name
+
+    def test_deterministic(self):
+        ds = make_mnist_like(10, image_size=16, rng=0)
+        a = gaussian_noise_like(ds, 5, rng=3)
+        b = gaussian_noise_like(ds, 5, rng=3)
+        assert np.array_equal(a.images, b.images)
+
+    def test_invalid_count(self):
+        ds = make_mnist_like(10, image_size=16, rng=0)
+        with pytest.raises(ValueError):
+            gaussian_noise_like(ds, 0)
+
+    def test_ood_differs_from_data(self):
+        # Noise images should not look like digits: correlation with any
+        # source image stays low.
+        ds = make_mnist_like(20, image_size=16, rng=0).normalized()
+        ood = gaussian_noise_like(ds, 1, rng=2)
+        flat_noise = ood.images[0].ravel()
+        for img in ds.images[:10]:
+            corr = np.corrcoef(flat_noise, img.ravel())[0, 1]
+            assert abs(corr) < 0.5

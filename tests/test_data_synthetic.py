@@ -1,0 +1,103 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_FACTORIES,
+    digit_glyph,
+    make_cifar_like,
+    make_dataset,
+    make_mnist_like,
+    make_svhn_like,
+    upsample_glyph,
+)
+
+
+class TestFonts:
+    def test_glyph_shape(self):
+        assert digit_glyph(3).shape == (7, 5)
+
+    def test_glyphs_distinct(self):
+        glyphs = [digit_glyph(d).tobytes() for d in range(10)]
+        assert len(set(glyphs)) == 10
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            digit_glyph(10)
+
+    def test_upsample(self):
+        up = upsample_glyph(digit_glyph(1), 3)
+        assert up.shape == (21, 15)
+
+    def test_upsample_invalid_factor(self):
+        with pytest.raises(ValueError):
+            upsample_glyph(digit_glyph(1), 0)
+
+
+class TestGenerators:
+    def test_mnist_like_shape(self):
+        ds = make_mnist_like(20, image_size=16, rng=0)
+        assert ds.images.shape == (20, 1, 16, 16)
+        assert ds.num_classes == 10
+
+    def test_svhn_like_shape(self):
+        ds = make_svhn_like(10, image_size=16, rng=0)
+        assert ds.images.shape == (10, 3, 16, 16)
+
+    def test_cifar_like_shape(self):
+        ds = make_cifar_like(10, image_size=16, rng=0)
+        assert ds.images.shape == (10, 3, 16, 16)
+
+    def test_values_in_unit_range(self):
+        for make in (make_mnist_like, make_svhn_like, make_cifar_like):
+            ds = make(8, image_size=12, rng=1)
+            assert ds.images.min() >= 0.0
+            assert ds.images.max() <= 1.0
+
+    def test_labels_in_range(self):
+        ds = make_cifar_like(50, rng=2)
+        assert ds.labels.min() >= 0 and ds.labels.max() <= 9
+
+    def test_deterministic_with_seed(self):
+        a = make_mnist_like(6, image_size=16, rng=5)
+        b = make_mnist_like(6, image_size=16, rng=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(6, image_size=16, rng=5)
+        b = make_mnist_like(6, image_size=16, rng=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_class_signal_exists(self):
+        # Same-class images must be closer than cross-class on average —
+        # a quick separability check with per-class mean templates.
+        ds = make_cifar_like(300, image_size=12, rng=7)
+        means = {}
+        for c in range(10):
+            mask = ds.labels == c
+            if mask.sum():
+                means[c] = ds.images[mask].mean(axis=0)
+        correct = 0
+        for i in range(len(ds)):
+            dists = {c: float(((ds.images[i] - m) ** 2).sum())
+                     for c, m in means.items()}
+            if min(dists, key=dists.get) == ds.labels[i]:
+                correct += 1
+        assert correct / len(ds) > 0.5  # far above the 10% chance level
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in DATASET_FACTORIES:
+            ds = make_dataset(name, 4, image_size=12, rng=0)
+            assert len(ds) == 4
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("imagenet")
+
+    def test_default_image_sizes(self):
+        assert make_dataset("mnist_like", 2, rng=0).image_shape == (1, 28, 28)
+        assert make_dataset("cifar_like", 2, rng=0).image_shape == (3, 32, 32)

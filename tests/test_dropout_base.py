@@ -1,0 +1,79 @@
+"""Tests for common MC-dropout semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dropout import BernoulliDropout, make_dropout
+
+
+class TestStochasticity:
+    def test_training_mode_applies_mask(self):
+        d = BernoulliDropout(0.5, rng=0)
+        d.train()
+        x = np.ones((4, 100), dtype=np.float32)
+        assert (d(x) == 0).any()
+
+    def test_eval_mc_mode_stays_stochastic(self):
+        # The defining MC-dropout behaviour: still random in eval().
+        d = BernoulliDropout(0.5, rng=0)
+        d.training = False
+        assert d.stochastic
+        x = np.ones((4, 100), dtype=np.float32)
+        assert (d(x) == 0).any()
+
+    def test_eval_without_mc_mode_is_identity(self):
+        d = BernoulliDropout(0.5, rng=0, mc_mode=False)
+        d.training = False
+        x = np.ones((4, 100), dtype=np.float32)
+        assert d(x) is x
+
+    def test_masks_differ_between_passes(self):
+        d = BernoulliDropout(0.5, rng=0)
+        x = np.ones((2, 50), dtype=np.float32)
+        assert not np.array_equal(d(x), d(x))
+
+
+class TestBackward:
+    def test_backward_uses_same_mask(self):
+        d = BernoulliDropout(0.5, rng=0)
+        x = np.ones((3, 40), dtype=np.float32)
+        y = d(x)
+        g = d.backward(np.ones_like(x))
+        # Gradient is zero exactly where the output was dropped.
+        assert np.array_equal(g == 0, y == 0)
+
+    def test_backward_identity_when_not_stochastic(self):
+        d = BernoulliDropout(0.5, rng=0, mc_mode=False)
+        d.training = False
+        x = np.ones((2, 5), dtype=np.float32)
+        d(x)
+        g = np.full_like(x, 3.0)
+        assert d.backward(g) is g
+
+
+class TestSampleProtocol:
+    def test_new_sample_increments(self):
+        d = make_dropout("M", rng=0)
+        assert d.sample_index == 0
+        d.new_sample()
+        assert d.sample_index == 1
+
+    def test_reset_samples(self):
+        d = make_dropout("M", rng=0)
+        d.new_sample()
+        d.reset_samples()
+        assert d.sample_index == 0
+
+
+class TestValidation:
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            BernoulliDropout(1.0)
+        with pytest.raises(ValueError):
+            BernoulliDropout(-0.1)
+
+    def test_hw_traits_available_for_all(self):
+        for code in "BRKM":
+            traits = make_dropout(code).hw_traits()
+            assert traits.unit in ("point", "patch", "channel")
+            assert traits.rng_bits_per_unit >= 0

@@ -1,0 +1,70 @@
+"""Tests for Bernoulli dropout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dropout import BernoulliDropout
+
+
+class TestMaskStatistics:
+    def test_drop_rate_matches_p(self):
+        d = BernoulliDropout(0.3, rng=0)
+        x = np.ones((10, 10, 10, 10), dtype=np.float32)
+        zero_frac = float((d(x) == 0).mean())
+        assert zero_frac == pytest.approx(0.3, abs=0.02)
+
+    def test_inverted_scaling_preserves_mean(self):
+        d = BernoulliDropout(0.4, rng=1)
+        x = np.ones((100, 100), dtype=np.float32)
+        assert float(d(x).mean()) == pytest.approx(1.0, abs=0.05)
+
+    def test_kept_values_scaled_by_inv_keep(self):
+        d = BernoulliDropout(0.5, rng=2)
+        x = np.ones((10, 10), dtype=np.float32)
+        y = d(x)
+        kept = y[y != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_p_zero_keeps_everything(self):
+        d = BernoulliDropout(0.0, rng=3)
+        x = np.random.default_rng(0).normal(size=(5, 5)).astype(np.float32)
+        assert np.allclose(d(x), x)
+
+    def test_point_granularity_independent_across_channels(self):
+        d = BernoulliDropout(0.5, rng=4)
+        x = np.ones((1, 8, 16, 16), dtype=np.float32)
+        y = d(x)
+        channel_masks = (y[0] != 0).reshape(8, -1)
+        # With point granularity channel masks must differ.
+        assert not all(np.array_equal(channel_masks[0], channel_masks[i])
+                       for i in range(1, 8))
+
+    def test_deterministic_with_seed(self):
+        x = np.ones((4, 20), dtype=np.float32)
+        a = BernoulliDropout(0.5, rng=7)(x)
+        b = BernoulliDropout(0.5, rng=7)(x)
+        assert np.array_equal(a, b)
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_fraction_tracks_p_property(self, p):
+        d = BernoulliDropout(p, rng=11)
+        x = np.ones((64, 64), dtype=np.float32)
+        zero_frac = float((d(x) == 0).mean())
+        assert zero_frac == pytest.approx(p, abs=0.12)
+
+
+class TestInterface:
+    def test_code_and_traits(self):
+        d = BernoulliDropout(0.25)
+        assert d.code == "B"
+        traits = d.hw_traits()
+        assert traits.dynamic
+        assert traits.comparators_per_unit == 1
+        assert traits.mask_storage_per_unit_bits == 0
+
+    def test_supports_both_placements(self):
+        assert BernoulliDropout.supports_conv
+        assert BernoulliDropout.supports_fc

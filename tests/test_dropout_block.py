@@ -1,0 +1,97 @@
+"""Tests for Block dropout (DropBlock)."""
+
+import numpy as np
+import pytest
+
+from repro.dropout import BlockDropout
+
+
+def dropped_components(mask2d: np.ndarray) -> int:
+    """Count 4-connected components of dropped (False) cells."""
+    h, w = mask2d.shape
+    seen = np.zeros_like(mask2d, dtype=bool)
+    count = 0
+    for i in range(h):
+        for j in range(w):
+            if mask2d[i, j] or seen[i, j]:
+                continue
+            count += 1
+            stack = [(i, j)]
+            while stack:
+                a, b = stack.pop()
+                if not (0 <= a < h and 0 <= b < w):
+                    continue
+                if seen[a, b] or mask2d[a, b]:
+                    continue
+                seen[a, b] = True
+                stack.extend([(a + 1, b), (a - 1, b), (a, b + 1), (a, b - 1)])
+    return count
+
+
+class TestMaskStructure:
+    def test_drops_contiguous_patches(self):
+        d = BlockDropout(0.15, block_size=3, rng=0)
+        x = np.ones((1, 1, 24, 24), dtype=np.float32)
+        y = d(x)
+        kept = y[0, 0] != 0
+        dropped = int((~kept).sum())
+        if dropped:
+            # Far fewer connected components than dropped cells means the
+            # drops are clustered into patches, not scattered points.
+            components = dropped_components(kept)
+            assert components <= dropped / 3
+
+    def test_expected_drop_rate(self):
+        d = BlockDropout(0.25, block_size=3, rng=1)
+        x = np.ones((40, 4, 16, 16), dtype=np.float32)
+        zero_frac = float((d(x) == 0).mean())
+        assert zero_frac == pytest.approx(0.25, abs=0.08)
+
+    def test_renormalization_preserves_mean(self):
+        d = BlockDropout(0.3, block_size=3, rng=2)
+        x = np.ones((20, 4, 12, 12), dtype=np.float32)
+        assert float(d(x).mean()) == pytest.approx(1.0, abs=0.05)
+
+    def test_p_zero_is_identity(self):
+        d = BlockDropout(0.0, rng=3)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        assert np.allclose(d(x), x)
+
+    def test_block_size_larger_than_map_is_clamped(self):
+        d = BlockDropout(0.2, block_size=10, rng=4)
+        x = np.ones((2, 2, 4, 4), dtype=np.float32)
+        y = d(x)  # must not raise
+        assert y.shape == x.shape
+
+
+class TestGamma:
+    def test_gamma_formula(self):
+        d = BlockDropout(0.1, block_size=3)
+        gamma = d._gamma(16, 16, 3)
+        expected = (0.1 / 9) * (256 / (14 * 14))
+        assert gamma == pytest.approx(expected)
+
+    def test_gamma_grows_with_p(self):
+        low = BlockDropout(0.1, block_size=3)._gamma(16, 16, 3)
+        high = BlockDropout(0.4, block_size=3)._gamma(16, 16, 3)
+        assert high > low
+
+
+class TestValidation:
+    def test_rejects_fc_input(self):
+        d = BlockDropout(0.2, rng=5)
+        with pytest.raises(ValueError, match="feature maps"):
+            d(np.ones((4, 16), dtype=np.float32))
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDropout(0.2, block_size=0)
+
+    def test_conv_only_flags(self):
+        assert BlockDropout.supports_conv
+        assert not BlockDropout.supports_fc
+
+    def test_code_and_traits(self):
+        d = BlockDropout(0.2, block_size=3)
+        assert d.code == "K"
+        assert d.hw_traits().comparators_per_unit == 9

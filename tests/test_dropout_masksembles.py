@@ -1,0 +1,130 @@
+"""Tests for Masksembles (static offline masks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dropout import (
+    Masksembles,
+    expected_keep_fraction,
+    generate_masks,
+)
+
+
+class TestGenerateMasks:
+    def test_shape(self):
+        masks = generate_masks(32, 4, 2.0, rng=0)
+        assert masks.shape == (4, 32)
+
+    def test_binary(self):
+        masks = generate_masks(24, 3, 2.0, rng=1)
+        assert set(np.unique(masks)) <= {0, 1}
+
+    def test_full_coverage(self):
+        masks = generate_masks(40, 4, 2.0, rng=2)
+        assert masks.any(axis=0).all()
+
+    def test_every_mask_nonempty(self):
+        masks = generate_masks(16, 4, 3.0, rng=3)
+        assert (masks.sum(axis=1) > 0).all()
+
+    def test_scale_one_is_all_ones(self):
+        masks = generate_masks(10, 4, 1.0, rng=4)
+        assert np.all(masks == 1)
+
+    def test_overlap_decreases_with_scale(self):
+        def mean_iou(masks):
+            k = masks.shape[0]
+            ious = []
+            for i in range(k):
+                for j in range(i + 1, k):
+                    inter = np.logical_and(masks[i], masks[j]).sum()
+                    union = np.logical_or(masks[i], masks[j]).sum()
+                    ious.append(inter / union)
+            return float(np.mean(ious))
+
+        low = mean_iou(generate_masks(64, 4, 1.3, rng=5))
+        high = mean_iou(generate_masks(64, 4, 4.0, rng=5))
+        assert high < low
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            generate_masks(8, 4, 0.5)
+
+    @given(st.integers(4, 64), st.integers(2, 6),
+           st.floats(1.1, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_construction_properties(self, n, k, s):
+        masks = generate_masks(n, k, s, rng=6)
+        assert masks.shape == (k, n)
+        assert masks.any(axis=0).all()          # coverage
+        assert (masks.sum(axis=1) > 0).all()    # no dead mask
+
+
+class TestExpectedKeepFraction:
+    def test_scale_one(self):
+        assert expected_keep_fraction(4, 1.0) == 1.0
+
+    def test_monotone_decreasing_in_scale(self):
+        fractions = [expected_keep_fraction(4, s) for s in (1.5, 2.0, 3.0)]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_matches_empirical(self):
+        masks = generate_masks(256, 4, 2.0, rng=7)
+        empirical = masks.mean()
+        analytic = expected_keep_fraction(4, 2.0)
+        assert empirical == pytest.approx(analytic, abs=0.08)
+
+
+class TestMasksemblesLayer:
+    def test_static_within_sample(self):
+        layer = Masksembles(4, scale=2.0, rng=0)
+        x = np.random.default_rng(0).normal(size=(2, 16, 4, 4)).astype(np.float32)
+        assert np.array_equal(layer(x), layer(x))
+
+    def test_rotates_with_new_sample(self):
+        layer = Masksembles(4, scale=2.0, rng=1)
+        x = np.ones((1, 16, 4, 4), dtype=np.float32)
+        y0 = layer(x)
+        layer.new_sample()
+        y1 = layer(x)
+        assert not np.array_equal(y0, y1)
+
+    def test_wraps_around_family(self):
+        layer = Masksembles(3, scale=2.0, rng=2)
+        x = np.ones((1, 12, 2, 2), dtype=np.float32)
+        y0 = layer(x)
+        for _ in range(3):
+            layer.new_sample()
+        assert np.array_equal(y0, layer(x))
+
+    def test_channel_granularity(self):
+        layer = Masksembles(4, scale=2.0, rng=3)
+        x = np.ones((2, 16, 4, 4), dtype=np.float32)
+        y = layer(x)
+        per_channel = y.reshape(2, 16, -1)
+        for c in range(16):
+            vals = per_channel[0, c]
+            assert np.all(vals == vals[0])
+
+    def test_fc_input(self):
+        layer = Masksembles(4, scale=2.0, rng=4)
+        y = layer(np.ones((3, 20), dtype=np.float32))
+        assert y.shape == (3, 20)
+
+    def test_derived_p_matches_scale(self):
+        layer = Masksembles(4, scale=2.0, rng=5)
+        assert layer.p == pytest.approx(1 - expected_keep_fraction(4, 2.0),
+                                        abs=1e-6)
+
+    def test_3d_input_raises(self):
+        layer = Masksembles(4, rng=6)
+        with pytest.raises(ValueError, match="2-D or 4-D"):
+            layer(np.ones((2, 3, 4), dtype=np.float32))
+
+    def test_static_traits(self):
+        traits = Masksembles(4).hw_traits()
+        assert not traits.dynamic
+        assert traits.rng_bits_per_unit == 0
+        assert traits.mask_storage_per_unit_bits == 4

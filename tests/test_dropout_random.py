@@ -1,0 +1,73 @@
+"""Tests for Random dropout (point/channel alternation)."""
+
+import numpy as np
+import pytest
+
+from repro.dropout import GRANULARITY_CHANNEL, GRANULARITY_POINT, RandomDropout
+
+
+class TestGranularityAlternation:
+    def test_both_granularities_occur(self):
+        d = RandomDropout(0.5, rng=0)
+        x = np.ones((2, 4, 8, 8), dtype=np.float32)
+        seen = set()
+        for _ in range(40):
+            d(x)
+            seen.add(d.last_granularity)
+        assert seen == {GRANULARITY_POINT, GRANULARITY_CHANNEL}
+
+    def test_channel_prob_one_forces_channel(self):
+        d = RandomDropout(0.5, channel_prob=1.0, rng=1)
+        x = np.ones((2, 8, 4, 4), dtype=np.float32)
+        d(x)
+        assert d.last_granularity == GRANULARITY_CHANNEL
+
+    def test_channel_prob_zero_forces_point(self):
+        d = RandomDropout(0.5, channel_prob=0.0, rng=2)
+        x = np.ones((2, 8, 4, 4), dtype=np.float32)
+        d(x)
+        assert d.last_granularity == GRANULARITY_POINT
+
+
+class TestChannelMode:
+    def test_whole_channels_dropped(self):
+        d = RandomDropout(0.5, channel_prob=1.0, rng=3)
+        x = np.ones((2, 16, 6, 6), dtype=np.float32)
+        y = d(x)
+        per_channel = y.reshape(2, 16, -1)
+        for n in range(2):
+            for c in range(16):
+                values = per_channel[n, c]
+                all_dropped = np.all(values == 0)
+                all_kept = values[0] != 0 and np.all(values == values[0])
+                assert all_dropped or all_kept
+
+    def test_fc_channel_mode_drops_columns(self):
+        d = RandomDropout(0.5, channel_prob=1.0, rng=4)
+        x = np.ones((6, 32), dtype=np.float32)
+        y = d(x)
+        for j in range(32):
+            column = y[:, j]
+            assert np.all(column == 0) or np.all(column != 0)
+
+    def test_mean_preserved(self):
+        d = RandomDropout(0.3, rng=5)
+        x = np.ones((20, 30, 4, 4), dtype=np.float32)
+        means = [float(d(x).mean()) for _ in range(20)]
+        assert np.mean(means) == pytest.approx(1.0, abs=0.1)
+
+
+class TestValidation:
+    def test_invalid_channel_prob(self):
+        with pytest.raises(ValueError, match="channel_prob"):
+            RandomDropout(0.5, channel_prob=1.5)
+
+    def test_3d_input_raises_in_channel_mode(self):
+        d = RandomDropout(0.5, channel_prob=1.0, rng=6)
+        with pytest.raises(ValueError, match="2-D or 4-D"):
+            d(np.ones((2, 3, 4), dtype=np.float32))
+
+    def test_code_and_traits(self):
+        d = RandomDropout(0.25)
+        assert d.code == "R"
+        assert d.hw_traits().comparators_per_unit == 2

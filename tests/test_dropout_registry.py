@@ -1,0 +1,79 @@
+"""Tests for the dropout registry/factory."""
+
+import pytest
+
+from repro.dropout import (
+    ALL_CODES,
+    DROPOUT_REGISTRY,
+    BernoulliDropout,
+    BlockDropout,
+    Masksembles,
+    RandomDropout,
+    codes_for_placement,
+    make_dropout,
+    resolve_code,
+)
+
+
+class TestRegistry:
+    def test_all_codes_registered(self):
+        assert set(ALL_CODES) == set(DROPOUT_REGISTRY)
+
+    def test_codes_match_classes(self):
+        assert DROPOUT_REGISTRY["B"] is BernoulliDropout
+        assert DROPOUT_REGISTRY["R"] is RandomDropout
+        assert DROPOUT_REGISTRY["K"] is BlockDropout
+        assert DROPOUT_REGISTRY["M"] is Masksembles
+
+
+class TestResolveCode:
+    def test_code_passthrough(self):
+        assert resolve_code("B") == "B"
+
+    def test_lowercase_code(self):
+        assert resolve_code("m") == "M"
+
+    def test_design_name(self):
+        assert resolve_code("bernoulli") == "B"
+        assert resolve_code("masksembles") == "M"
+        assert resolve_code("block") == "K"
+        assert resolve_code("random") == "R"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dropout"):
+            resolve_code("gaussian")
+
+
+class TestMakeDropout:
+    def test_instantiates_each_design(self):
+        for code in ALL_CODES:
+            layer = make_dropout(code, rng=0)
+            assert layer.code == code
+
+    def test_p_applies_to_dynamic_designs(self):
+        assert make_dropout("B", p=0.4).p == 0.4
+        assert make_dropout("R", p=0.4).p == 0.4
+        assert make_dropout("K", p=0.4).p == 0.4
+
+    def test_masksembles_rate_comes_from_scale(self):
+        layer = make_dropout("M", p=0.4, scale=2.0, num_masks=4)
+        assert layer.p != 0.4
+        assert layer.num_masks == 4
+
+    def test_block_size_forwarded(self):
+        assert make_dropout("K", block_size=5).block_size == 5
+
+    def test_mc_mode_forwarded(self):
+        assert make_dropout("B", mc_mode=False).mc_mode is False
+
+
+class TestPlacementFiltering:
+    def test_conv_admits_all(self):
+        assert codes_for_placement("conv") == ["B", "R", "K", "M"]
+
+    def test_fc_excludes_block(self):
+        assert codes_for_placement("fc") == ["B", "R", "M"]
+
+    def test_invalid_placement_raises(self):
+        with pytest.raises(ValueError, match="placement"):
+            codes_for_placement("attention")

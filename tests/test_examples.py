@@ -1,0 +1,58 @@
+"""Smoke tests of the example scripts.
+
+All examples must at least compile; the cheapest one runs end to end
+(in-process, so the shared interpreter state stays warm).
+"""
+
+import os
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.name for p in ALL_EXAMPLES])
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        for expected in ("quickstart.py", "lenet_mnist_search.py",
+                         "resnet_cifar_pareto.py",
+                         "generate_accelerator.py",
+                         "uncertainty_ood.py",
+                         "extended_search_space.py"):
+            assert expected in names
+
+
+class TestRun:
+    def test_generate_accelerator_with_fixed_config(self, tmp_path,
+                                                    monkeypatch,
+                                                    capsys):
+        """The codegen example runs end to end without a search."""
+        outdir = str(tmp_path / "proj")
+        monkeypatch.setattr(sys, "argv", [
+            "generate_accelerator.py", "--outdir", outdir,
+            "--config", "B-K-M",
+        ])
+        runpy.run_path(str(EXAMPLES_DIR / "generate_accelerator.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Synthesis Report" in out
+        assert os.path.exists(os.path.join(outdir, "build_prj.tcl"))
+
+    def test_quickstart_runs(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Phase 1" in out
+        assert "Phase 4" in out
+        assert "Synthesis Report" in out

@@ -1,0 +1,107 @@
+"""Tests for the four-phase flow."""
+
+import pytest
+
+from repro.flow import DropoutSearchFlow, FlowSpec
+from repro.search import EvolutionConfig, TrainConfig, get_aim
+
+
+@pytest.fixture(scope="module")
+def ran_flow():
+    """One CI-scale flow, trained and searched under two aims."""
+    flow = DropoutSearchFlow(FlowSpec(
+        model="lenet_slim", dataset="mnist_like", image_size=16,
+        dataset_size=400, ood_size=60, seed=21))
+    flow.specify()
+    flow.train(TrainConfig(epochs=6))
+    flow.search("accuracy",
+                evolution=EvolutionConfig(population_size=6, generations=3))
+    flow.search("latency",
+                evolution=EvolutionConfig(population_size=6, generations=3))
+    return flow
+
+
+class TestPhases:
+    def test_specify_builds_space(self):
+        flow = DropoutSearchFlow(FlowSpec(
+            model="lenet_slim", dataset="mnist_like", image_size=16,
+            dataset_size=120, seed=0))
+        space = flow.specify()
+        assert space.size == 32
+        assert flow.state.supernet is not None
+        assert flow.input_shape == (1, 16, 16)
+
+    def test_train_before_specify_autoruns(self):
+        flow = DropoutSearchFlow(FlowSpec(
+            model="lenet_slim", dataset="mnist_like", image_size=16,
+            dataset_size=120, seed=1))
+        log = flow.train(TrainConfig(epochs=1))
+        assert flow.state.space is not None
+        assert len(log.epoch_losses) == 1
+
+    def test_search_results_recorded(self, ran_flow):
+        assert "Accuracy Optimal" in ran_flow.state.search_results
+        assert "Latency Optimal" in ran_flow.state.search_results
+        assert ran_flow.state.search_seconds["Accuracy Optimal"] > 0
+
+    def test_search_result_config_in_space(self, ran_flow):
+        result = ran_flow.state.search_results["Accuracy Optimal"]
+        assert result.best_config in ran_flow.state.space
+
+    def test_latency_optimal_prefers_cheap_designs(self, ran_flow):
+        result = ran_flow.state.search_results["Latency Optimal"]
+        # K and R stall the pipeline; the optimum avoids them.
+        assert not set(result.best_config) & {"K", "R"}
+
+    def test_generate_design(self, ran_flow):
+        design, project = ran_flow.generate(("B", "B", "B"))
+        assert design.dropout_config == "B-B-B"
+        assert project is None
+        assert design.perf.latency_ms > 0
+
+    def test_generate_with_emission(self, ran_flow, tmp_path):
+        design, project = ran_flow.generate(
+            ("M", "M", "M"), outdir=str(tmp_path), project_name="flowgen")
+        assert project is not None
+        assert (tmp_path / "firmware" / "flowgen.cpp").exists()
+
+    def test_generate_before_specify_raises(self):
+        flow = DropoutSearchFlow(FlowSpec(model="lenet_slim"))
+        with pytest.raises(RuntimeError, match="specify"):
+            flow.generate(("B", "B", "B"))
+
+
+class TestReporting:
+    def test_summary_rows(self, ran_flow):
+        rows = ran_flow.summary()
+        assert len(rows) == 2
+        row = rows[0]
+        for key in ("aim", "config", "accuracy_pct", "ece_pct",
+                    "ape_nats", "latency_ms", "search_seconds",
+                    "evaluations"):
+            assert key in row
+
+    def test_evaluate_config(self, ran_flow):
+        result = ran_flow.evaluate_config(("B", "M", "B"))
+        assert result.config == ("B", "M", "B")
+        assert result.latency_ms > 0
+
+    def test_gp_cost_model_built_once(self, ran_flow):
+        cm1 = ran_flow._ensure_cost_model()
+        cm2 = ran_flow._ensure_cost_model()
+        assert cm1 is cm2
+
+
+class TestDeterminism:
+    def test_same_seed_same_search(self):
+        def run():
+            flow = DropoutSearchFlow(FlowSpec(
+                model="lenet_slim", dataset="mnist_like", image_size=16,
+                dataset_size=200, ood_size=40, seed=33))
+            flow.specify()
+            flow.train(TrainConfig(epochs=2))
+            result = flow.search(
+                "accuracy",
+                evolution=EvolutionConfig(population_size=4, generations=2))
+            return result.best_config
+        assert run() == run()

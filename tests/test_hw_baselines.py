@@ -1,0 +1,55 @@
+"""Tests for the quoted related-work design points."""
+
+import pytest
+
+from repro.hw import BYNQNET, QUOTED_DESIGNS, TPDS22, VIBNN, get_quoted_design
+
+
+class TestQuotedValues:
+    """The quoted numbers must match the paper's Table 3 exactly."""
+
+    def test_vibnn(self):
+        assert VIBNN.frequency_mhz == 213.0
+        assert VIBNN.power_w == 6.11
+        assert VIBNN.latency_ms == 5.5
+        assert VIBNN.energy_per_image_j == 0.033
+        assert VIBNN.technology_nm == 28
+
+    def test_bynqnet(self):
+        assert BYNQNET.frequency_mhz == 200.0
+        assert BYNQNET.power_w == 2.76
+        assert BYNQNET.latency_ms == 4.5
+        assert BYNQNET.energy_per_image_j == 0.012
+
+    def test_tpds22(self):
+        assert TPDS22.frequency_mhz == 220.0
+        assert TPDS22.power_w == 43.6
+        assert TPDS22.latency_ms == 0.32
+        assert TPDS22.ape_nats == 0.45
+        assert TPDS22.energy_per_image_j == 0.014
+
+    def test_fc_only_designs_flagged(self):
+        # Paper Sec. 4.3: VIBNN and BYNQNet do not support LeNet.
+        assert not VIBNN.supports_lenet
+        assert not BYNQNET.supports_lenet
+        assert TPDS22.supports_lenet
+
+    def test_ape_missing_where_unreported(self):
+        assert VIBNN.ape_nats is None
+        assert BYNQNET.ape_nats is None
+
+
+class TestRegistry:
+    def test_all_present(self):
+        assert set(QUOTED_DESIGNS) == {"vibnn", "bynqnet", "tpds22"}
+
+    def test_lookup(self):
+        assert get_quoted_design("VIBNN") is VIBNN
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_quoted_design("phoenix")
+
+    def test_provenance_notes(self):
+        for design in QUOTED_DESIGNS.values():
+            assert "quoted" in design.notes.lower()

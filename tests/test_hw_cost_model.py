@@ -1,0 +1,127 @@
+"""Tests for the GP latency cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorBuilder,
+    AcceleratorConfig,
+    GPLatencyModel,
+    build_latency_dataset,
+    encode_features,
+    trace_network,
+)
+from repro.models import build_model
+from repro.search import Supernet
+
+
+@pytest.fixture(scope="module")
+def lenet_setup():
+    model = build_model("lenet_slim", image_size=16, rng=0)
+    net = Supernet(model, rng=1)
+    net.set_config(("B", "B", "B"))
+    config = AcceleratorConfig(pe=8)
+    netlist = trace_network(net.model, (1, 16, 16))
+    return net, config, netlist
+
+
+class TestFeatures:
+    def test_layout(self):
+        f = encode_features(1024, "B")
+        assert f.shape == (5,)
+        assert f[0] == pytest.approx(10.0)  # log2(1024)
+        assert f[1:].tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_onehot_positions(self):
+        assert encode_features(64, "M")[4] == 1.0
+        assert encode_features(64, "K")[3] == 1.0
+
+    def test_invalid_elements(self):
+        with pytest.raises(ValueError):
+            encode_features(0, "B")
+
+    def test_invalid_code(self):
+        with pytest.raises(KeyError):
+            encode_features(10, "Z")
+
+
+class TestDatasetBuilder:
+    def test_covers_all_types(self):
+        x, y = build_latency_dataset(AcceleratorConfig(pe=8),
+                                     points_per_type=6)
+        assert len(x) == len(y)
+        # 4 types x 6 sizes (some sizes may dedupe).
+        assert len(x) >= 4 * 4
+        assert (y >= 0).all()
+
+    def test_noise_injection(self):
+        cfg = AcceleratorConfig(pe=8)
+        _, clean = build_latency_dataset(cfg, points_per_type=6)
+        _, noisy = build_latency_dataset(cfg, points_per_type=6,
+                                         noise_std_cycles=50.0, rng=0)
+        assert not np.allclose(clean, noisy)
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            build_latency_dataset(AcceleratorConfig(), points_per_type=1)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            build_latency_dataset(AcceleratorConfig(),
+                                  element_range=(100, 10))
+
+
+class TestGPLatencyModel:
+    def test_tracks_analytic_oracle(self, lenet_setup):
+        net, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=2)
+        oracle = AcceleratorBuilder(config).latency_oracle(net, (1, 16, 16))
+        report = cm.validate_against(oracle, list(net.space.enumerate()))
+        assert report.mean_abs_error_ms < 0.05
+        # Relative to the base latency the error is tiny.
+        assert report.mean_abs_error_ms < 0.05 * cm.base_latency_ms
+
+    def test_preserves_design_ordering(self, lenet_setup):
+        net, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=3)
+        lat = {code: cm.predict_latency_ms((code, code, "B"))
+               for code in ("B", "R", "K", "M")}
+        assert lat["M"] <= lat["B"] < lat["R"] < lat["K"]
+
+    def test_base_latency_positive(self, lenet_setup):
+        _, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=4)
+        assert cm.base_latency_ms > 0
+
+    def test_callable_interface(self, lenet_setup):
+        _, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=5)
+        assert cm(("B", "B", "B")) == pytest.approx(
+            cm.predict_latency_ms(("B", "B", "B")))
+
+    def test_wrong_config_length(self, lenet_setup):
+        _, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=6)
+        with pytest.raises(ValueError, match="slots"):
+            cm.predict_latency_ms(("B", "B"))
+
+    def test_netlist_without_dropout_rejected(self, lenet_setup):
+        from repro import nn
+        _, config, _ = lenet_setup
+        plain = nn.Sequential(nn.Flatten(), nn.Linear(256, 10, rng=0))
+        netlist = trace_network(plain, (1, 16, 16))
+        with pytest.raises(ValueError, match="dropout"):
+            GPLatencyModel(netlist, config)
+
+    def test_robust_to_synthesis_noise(self, lenet_setup):
+        net, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, noise_std_cycles=20.0, rng=7)
+        oracle = AcceleratorBuilder(config).latency_oracle(net, (1, 16, 16))
+        report = cm.validate_against(oracle, list(net.space.enumerate()))
+        assert report.mean_abs_error_ms < 0.2
+
+    def test_validate_requires_configs(self, lenet_setup):
+        _, config, netlist = lenet_setup
+        cm = GPLatencyModel(netlist, config, rng=8)
+        with pytest.raises(ValueError):
+            cm.validate_against(lambda c: 0.0, [])

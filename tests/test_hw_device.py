@@ -1,0 +1,40 @@
+"""Tests for the FPGA device catalog."""
+
+import pytest
+
+from repro.hw import (
+    ARRIA10_GX1150,
+    CYCLONE_V,
+    DEVICE_CATALOG,
+    XCKU115,
+    ZYNQ_XC7Z020,
+    get_device,
+)
+
+
+class TestCatalog:
+    def test_paper_target_device(self):
+        assert XCKU115.default_clock_mhz == 181.0
+        assert XCKU115.technology_nm == 20
+        assert XCKU115.dsp == 5520
+        assert XCKU115.bram36 == 2160
+
+    def test_related_work_boards_present(self):
+        assert CYCLONE_V.name in DEVICE_CATALOG
+        assert ZYNQ_XC7Z020.name in DEVICE_CATALOG
+        assert ARRIA10_GX1150.name in DEVICE_CATALOG
+
+    def test_technology_matches_table3(self):
+        assert CYCLONE_V.technology_nm == 28
+        assert ZYNQ_XC7Z020.technology_nm == 28
+        assert ARRIA10_GX1150.technology_nm == 20
+
+    def test_bram_bits(self):
+        assert XCKU115.bram_bits == 2160 * 36 * 1024
+
+    def test_get_device(self):
+        assert get_device("XCKU115") is XCKU115
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("Versal")

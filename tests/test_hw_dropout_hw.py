@@ -1,0 +1,80 @@
+"""Tests for the dropout hardware models."""
+
+import pytest
+
+from repro.hw import (
+    COMPARATORS_PER_ELEMENT,
+    STALL_CYCLES_PER_ELEMENT,
+    dropout_stall_cycles,
+    model_dropout_layer,
+)
+from repro.hw.netlist import LayerInfo
+
+
+def dropout_layer(code, shape=(16, 8, 8)):
+    return LayerInfo(name="slot", kind="dropout", in_shape=shape,
+                     out_shape=shape, dropout_code=code, slot_name="s")
+
+
+class TestStallModel:
+    def test_paper_ordering(self):
+        # Table 1 latency shape: M <= B << R < K.
+        s = STALL_CYCLES_PER_ELEMENT
+        assert s["M"] <= s["B"] < s["R"] < s["K"]
+
+    def test_static_design_near_free(self):
+        assert dropout_stall_cycles("M", 10_000) == 0.0
+
+    def test_stall_scales_with_elements(self):
+        assert dropout_stall_cycles("K", 2000) == pytest.approx(
+            2 * dropout_stall_cycles("K", 1000))
+
+    def test_lanes_divide_stall(self):
+        assert dropout_stall_cycles("R", 1000, lanes=4) == pytest.approx(
+            dropout_stall_cycles("R", 1000) / 4)
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            dropout_stall_cycles("X", 100)
+
+    def test_invalid_elements(self):
+        with pytest.raises(ValueError):
+            dropout_stall_cycles("B", -1)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            dropout_stall_cycles("B", 100, lanes=0)
+
+
+class TestComparators:
+    def test_block_window_comparators(self):
+        assert COMPARATORS_PER_ELEMENT["K"] == 9.0
+
+    def test_masksembles_has_none(self):
+        assert COMPARATORS_PER_ELEMENT["M"] == 0.0
+
+
+class TestModelDropoutLayer:
+    def test_inactive_slot_is_free(self):
+        hw = model_dropout_layer(dropout_layer(None))
+        assert hw.stall_cycles == 0
+        assert hw.ffs == 0
+        assert hw.bram_bits == 0
+
+    def test_masksembles_mask_storage(self):
+        hw = model_dropout_layer(dropout_layer("M", shape=(32, 4, 4)))
+        # 4 masks x 32 channels = 128 bits.
+        assert hw.bram_bits == 128
+        assert hw.comparator_ops == 0
+
+    def test_bernoulli_comparators(self):
+        hw = model_dropout_layer(dropout_layer("B", shape=(8, 4, 4)))
+        assert hw.comparator_ops == 8 * 4 * 4
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            model_dropout_layer(dropout_layer("Z"))
+
+    def test_invalid_lanes_raises(self):
+        with pytest.raises(ValueError):
+            model_dropout_layer(dropout_layer("B"), lanes=0)

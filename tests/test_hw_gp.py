@@ -1,0 +1,134 @@
+"""Tests for the from-scratch Gaussian-process regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import GaussianProcessRegressor, matern52, rbf
+
+
+class TestKernels:
+    def test_matern_diagonal_is_variance(self):
+        x = np.random.default_rng(0).normal(size=(5, 2))
+        k = matern52(x, x, 2.0, np.ones(2))
+        assert np.allclose(np.diag(k), 2.0)
+
+    def test_matern_decays_with_distance(self):
+        a = np.array([[0.0]])
+        near = matern52(a, np.array([[0.1]]), 1.0, np.ones(1))[0, 0]
+        far = matern52(a, np.array([[3.0]]), 1.0, np.ones(1))[0, 0]
+        assert near > far
+
+    def test_rbf_diagonal_is_variance(self):
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        k = rbf(x, x, 1.5, np.ones(3))
+        assert np.allclose(np.diag(k), 1.5)
+
+    def test_kernels_positive(self):
+        x = np.random.default_rng(2).normal(size=(6, 2))
+        assert (matern52(x, x, 1.0, np.ones(2)) > 0).all()
+        assert (rbf(x, x, 1.0, np.ones(2)) > 0).all()
+
+    def test_ard_lengthscales(self):
+        # A huge lengthscale in dim 0 makes that dim irrelevant.
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[5.0, 0.0]])
+        k = matern52(a, b, 1.0, np.array([100.0, 1.0]))[0, 0]
+        assert k > 0.99
+
+
+class TestFit:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(15, 1))
+        y = np.sin(2 * x[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-3, rng=1).fit(x, y)
+        pred = gp.predict(x)
+        assert np.abs(pred - y).max() < 0.05
+
+    def test_fits_noisy_sine(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-3, 3, size=(60, 1))
+        y = np.sin(x[:, 0]) + rng.normal(0, 0.05, 60)
+        gp = GaussianProcessRegressor(rng=3).fit(x, y)
+        xq = np.linspace(-3, 3, 40)[:, None]
+        err = np.abs(gp.predict(xq) - np.sin(xq[:, 0])).mean()
+        assert err < 0.1
+
+    def test_predictive_std_small_at_train_points(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(20, 1))
+        y = x[:, 0] ** 2
+        gp = GaussianProcessRegressor(rng=5).fit(x, y)
+        _, std_train = gp.predict(x, return_std=True)
+        _, std_far = gp.predict(np.array([[10.0]]), return_std=True)
+        assert std_train.mean() < std_far[0]
+
+    def test_constant_mean_learned(self):
+        x = np.linspace(0, 1, 10)[:, None]
+        y = np.full(10, 42.0)
+        gp = GaussianProcessRegressor(rng=6).fit(x, y)
+        assert gp.mean_const == pytest.approx(42.0)
+        # Extrapolation reverts toward the constant mean.
+        far = gp.predict(np.array([[100.0]]))[0]
+        assert far == pytest.approx(42.0, abs=1.0)
+
+    def test_multidimensional_inputs(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 3))
+        y = x[:, 0] + 2 * x[:, 1] - x[:, 2]
+        gp = GaussianProcessRegressor(rng=8).fit(x, y)
+        pred = gp.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_rbf_kernel_option(self):
+        x = np.linspace(0, 1, 12)[:, None]
+        y = np.cos(3 * x[:, 0])
+        gp = GaussianProcessRegressor(kernel="rbf", rng=9).fit(x, y)
+        assert np.abs(gp.predict(x) - y).max() < 0.1
+
+    def test_log_marginal_likelihood_finite(self):
+        x = np.linspace(0, 1, 8)[:, None]
+        y = x[:, 0]
+        gp = GaussianProcessRegressor(rng=10).fit(x, y)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+
+class TestValidation:
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="kernel"):
+            GaussianProcessRegressor(kernel="periodic")
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GaussianProcessRegressor().predict(np.zeros((1, 1)))
+
+    def test_mismatched_xy(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            GaussianProcessRegressor().fit(np.zeros((1, 1)), np.zeros(1))
+
+    def test_1d_x_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros(5), np.zeros(5))
+
+    @given(st.lists(st.floats(-5, 5), min_size=3, max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_finite_property(self, xs):
+        x = np.array(xs)[:, None]
+        y = np.tanh(x[:, 0])
+        gp = GaussianProcessRegressor(
+            optimize_hyperparams=False, rng=0).fit(x, y)
+        mean, std = gp.predict(np.linspace(-6, 6, 10)[:, None],
+                               return_std=True)
+        assert np.isfinite(mean).all()
+        assert np.isfinite(std).all()
+        assert (std >= 0).all()

@@ -1,0 +1,72 @@
+"""Tests for CPU/GPU platform models."""
+
+import pytest
+
+from repro.hw import (
+    CPU_I9_9900K,
+    GPU_RTX_2080,
+    get_platform,
+    trace_network,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def lenet_netlist():
+    return trace_network(build_model("lenet", rng=0), (1, 28, 28))
+
+
+class TestCalibration:
+    def test_cpu_latency_matches_paper(self, lenet_netlist):
+        # Paper Table 3: 1.26 ms for LeNet at T=3 on the i9-9900K.
+        lat = CPU_I9_9900K.latency_ms(lenet_netlist, 3)
+        assert lat == pytest.approx(1.26, rel=0.05)
+
+    def test_gpu_latency_matches_paper(self, lenet_netlist):
+        # Paper Table 3: 0.57 ms on the RTX 2080.
+        lat = GPU_RTX_2080.latency_ms(lenet_netlist, 3)
+        assert lat == pytest.approx(0.57, rel=0.08)
+
+    def test_cpu_energy_matches_paper(self, lenet_netlist):
+        # Paper Table 3: 0.258 J/image.
+        e = CPU_I9_9900K.energy_per_image_j(lenet_netlist, 3)
+        assert e == pytest.approx(0.258, rel=0.05)
+
+    def test_gpu_energy_matches_paper(self, lenet_netlist):
+        # Paper Table 3: 0.134 J/image.
+        e = GPU_RTX_2080.energy_per_image_j(lenet_netlist, 3)
+        assert e == pytest.approx(0.134, rel=0.1)
+
+
+class TestModelBehaviour:
+    def test_latency_scales_with_samples(self, lenet_netlist):
+        t1 = CPU_I9_9900K.latency_ms(lenet_netlist, 1)
+        t3 = CPU_I9_9900K.latency_ms(lenet_netlist, 3)
+        assert t3 == pytest.approx(3 * t1, rel=1e-6)
+
+    def test_bigger_network_slower(self, lenet_netlist):
+        resnet = trace_network(build_model("resnet18", rng=0), (3, 32, 32))
+        assert (CPU_I9_9900K.latency_ms(resnet, 3)
+                > CPU_I9_9900K.latency_ms(lenet_netlist, 3))
+
+    def test_invalid_samples(self, lenet_netlist):
+        with pytest.raises(ValueError):
+            CPU_I9_9900K.latency_ms(lenet_netlist, 0)
+
+    def test_paper_platform_specs(self):
+        assert CPU_I9_9900K.frequency_mhz == 3600.0
+        assert CPU_I9_9900K.technology_nm == 14
+        assert CPU_I9_9900K.measured_power_w == 205.0
+        assert GPU_RTX_2080.frequency_mhz == 1545.0
+        assert GPU_RTX_2080.technology_nm == 12
+        assert GPU_RTX_2080.measured_power_w == 236.0
+
+
+class TestRegistry:
+    def test_get_platform(self):
+        assert get_platform("cpu") is CPU_I9_9900K
+        assert get_platform("GPU") is GPU_RTX_2080
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("tpu")

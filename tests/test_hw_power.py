@@ -1,0 +1,100 @@
+"""Tests for the power model and Figure-5 breakdown."""
+
+import pytest
+
+from repro.hw import (
+    AcceleratorBuilder,
+    AcceleratorConfig,
+    energy_per_image_j,
+    estimate,
+    estimate_power,
+    recommended_config,
+    trace_network,
+)
+from repro.models import build_model
+from repro.search import Supernet
+
+
+@pytest.fixture(scope="module")
+def lenet_designs():
+    model = build_model("lenet_slim", image_size=16, rng=0)
+    net = Supernet(model, rng=1)
+    builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+    designs = {}
+    for config in (("B", "B", "B"), ("M", "M", "M"), ("K", "K", "B")):
+        designs["-".join(config)] = builder.build_for_config(
+            net, (1, 16, 16), config)
+    return designs
+
+
+class TestBreakdown:
+    def test_components_sum(self, lenet_designs):
+        p = lenet_designs["B-B-B"].power
+        assert p.total == pytest.approx(p.static + p.dynamic)
+        assert p.dynamic == pytest.approx(
+            p.io + p.logic_signal + p.dsp + p.clocking + p.bram)
+
+    def test_dynamic_shares_sum_to_one(self, lenet_designs):
+        shares = lenet_designs["B-B-B"].power.dynamic_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == {"IO", "Logic&Signal", "DSP", "Clocking",
+                               "BRAM"}
+
+    def test_as_dict_keys(self, lenet_designs):
+        d = lenet_designs["B-B-B"].power.as_dict()
+        for key in ("static", "io", "logic_signal", "dsp", "clocking",
+                    "bram", "dynamic", "total"):
+            assert key in d
+
+    def test_static_is_device_constant(self, lenet_designs):
+        assert lenet_designs["B-B-B"].power.static == pytest.approx(1.29)
+
+
+class TestPaperShapes:
+    def test_dynamic_dropout_burns_more_logic_power(self, lenet_designs):
+        # Paper Fig. 5: comparing operations in dynamic dropout layers
+        # drive Logic&Signal power.
+        logic_k = lenet_designs["K-K-B"].power.logic_signal
+        logic_m = lenet_designs["M-M-M"].power.logic_signal
+        assert logic_k > logic_m
+
+    def test_masksembles_burns_more_bram_power(self, lenet_designs):
+        bram_m = lenet_designs["M-M-M"].power.bram
+        bram_b = lenet_designs["B-B-B"].power.bram
+        assert bram_m > bram_b
+
+    def test_total_power_ordering(self, lenet_designs):
+        # All-static design draws the least total power.
+        assert (lenet_designs["M-M-M"].power.total
+                < lenet_designs["K-K-B"].power.total)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_latency(self, lenet_designs):
+        design = lenet_designs["B-B-B"]
+        expected = design.power.total * design.perf.latency_ms / 1e3
+        assert energy_per_image_j(design.perf, design.power) == \
+            pytest.approx(expected)
+
+    def test_report_energy_matches(self, lenet_designs):
+        design = lenet_designs["B-B-B"]
+        assert design.report.energy_per_image_j == pytest.approx(
+            energy_per_image_j(design.perf, design.power))
+
+
+class TestCalibration:
+    def test_resnet_operating_point_in_paper_band(self):
+        """ResNet18/CIFAR on the calibrated preset: Table-1 vicinity."""
+        model = build_model("resnet18", rng=0)
+        net = Supernet(model, rng=1)
+        builder = AcceleratorBuilder(recommended_config("resnet18"))
+        design = builder.build_for_config(net, (3, 32, 32),
+                                          ("M", "M", "M", "M"))
+        util = design.report.utilization_percent()
+        # Paper Table 1: latency 15.4 ms, BRAM 82%, DSP 5%, FF 39%.
+        assert 10.0 < design.report.latency_ms < 30.0
+        assert 70.0 < util["BRAM"] < 95.0
+        assert 2.0 < util["DSP"] < 12.0
+        assert 25.0 < util["FF"] < 55.0
+        # Power in the paper's 3.9-4.4 W vicinity.
+        assert 3.0 < design.report.total_power_w < 6.0

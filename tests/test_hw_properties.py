@@ -1,0 +1,120 @@
+"""Property-based tests of the hardware model's monotonicity laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import AcceleratorConfig, estimate, estimate_power, trace_network
+from repro.hw.dropout_hw import dropout_stall_cycles
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def lenet_netlist():
+    model = build_model("lenet_slim", image_size=16, rng=0)
+    return trace_network(model, (1, 16, 16))
+
+
+class TestLatencyMonotonicity:
+    @given(pe_a=st.integers(1, 256), pe_b=st.integers(1, 256))
+    @settings(max_examples=25, deadline=None)
+    def test_latency_nonincreasing_in_pe(self, lenet_netlist, pe_a,
+                                         pe_b):
+        if pe_a > pe_b:
+            pe_a, pe_b = pe_b, pe_a
+        slow = estimate(lenet_netlist, AcceleratorConfig(pe=pe_a))
+        fast = estimate(lenet_netlist, AcceleratorConfig(pe=pe_b))
+        assert fast.latency_ms <= slow.latency_ms + 1e-9
+
+    @given(t=st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_latency_linear_in_mc_samples(self, lenet_netlist, t):
+        one = estimate(lenet_netlist,
+                       AcceleratorConfig(pe=8, mc_samples=1))
+        many = estimate(lenet_netlist,
+                        AcceleratorConfig(pe=8, mc_samples=t))
+        expected = (t * one.cycles_per_pass + (t - 1) * 200)
+        assert many.total_cycles == pytest.approx(expected)
+
+    @given(s_a=st.floats(0.0, 0.9), s_b=st.floats(0.0, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_nonincreasing_in_sparsity(self, lenet_netlist,
+                                               s_a, s_b):
+        if s_a > s_b:
+            s_a, s_b = s_b, s_a
+        dense = estimate(lenet_netlist,
+                         AcceleratorConfig(pe=8, weight_sparsity=s_a))
+        sparse = estimate(lenet_netlist,
+                          AcceleratorConfig(pe=8, weight_sparsity=s_b))
+        assert sparse.latency_ms <= dense.latency_ms + 1e-9
+
+
+class TestStallProperties:
+    @given(st.sampled_from(["B", "R", "K", "M"]),
+           st.integers(1, 100_000), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_stall_nonnegative_and_lane_monotone(self, code, elements,
+                                                 lanes):
+        base = dropout_stall_cycles(code, elements, lanes=1)
+        laned = dropout_stall_cycles(code, elements, lanes=lanes)
+        assert base >= 0.0
+        assert laned <= base + 1e-9
+
+    @given(st.integers(1, 50_000), st.integers(1, 50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_stall_monotone_in_elements(self, e_a, e_b):
+        if e_a > e_b:
+            e_a, e_b = e_b, e_a
+        for code in ("B", "R", "K", "M"):
+            assert (dropout_stall_cycles(code, e_a)
+                    <= dropout_stall_cycles(code, e_b) + 1e-9)
+
+
+class TestPowerProperties:
+    @given(pe=st.integers(4, 512))
+    @settings(max_examples=15, deadline=None)
+    def test_power_components_positive(self, lenet_netlist, pe):
+        perf = estimate(lenet_netlist, AcceleratorConfig(pe=pe))
+        power = estimate_power(perf)
+        for value in power.as_dict().values():
+            assert value >= 0.0
+        assert power.total >= power.static
+
+    @given(clock=st.floats(50.0, 400.0))
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_power_scales_with_clock(self, lenet_netlist,
+                                             clock):
+        slow = estimate_power(estimate(
+            lenet_netlist, AcceleratorConfig(pe=8, clock_mhz=clock)))
+        fast = estimate_power(estimate(
+            lenet_netlist,
+            AcceleratorConfig(pe=8, clock_mhz=clock * 2)))
+        # Clock-tree and DSP/BRAM terms scale linearly with frequency.
+        assert fast.clocking == pytest.approx(2 * slow.clocking,
+                                              rel=1e-6)
+        assert fast.dsp == pytest.approx(2 * slow.dsp, rel=1e-6)
+
+
+class TestResourceProperties:
+    @given(pe=st.integers(1, 2048))
+    @settings(max_examples=20, deadline=None)
+    def test_resources_within_device(self, lenet_netlist, pe):
+        perf = estimate(lenet_netlist, AcceleratorConfig(pe=pe))
+        device = perf.config.device
+        res = perf.resources
+        assert 0 <= res.dsp <= device.dsp
+        assert 0 <= res.bram36 <= device.bram36
+        assert 0 <= res.ffs <= device.ffs
+        assert 0 <= res.luts <= device.luts
+
+    @given(r_a=st.floats(0.05, 1.0), r_b=st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_bram_monotone_in_residency(self, lenet_netlist, r_a, r_b):
+        if r_a > r_b:
+            r_a, r_b = r_b, r_a
+        low = estimate(lenet_netlist,
+                       AcceleratorConfig(pe=8, weight_residency=r_a))
+        high = estimate(lenet_netlist,
+                        AcceleratorConfig(pe=8, weight_residency=r_b))
+        assert low.resources.bram36 <= high.resources.bram36

@@ -1,0 +1,60 @@
+"""Tests for the csynth-style synthesis report."""
+
+import pytest
+
+from repro.hw import AcceleratorBuilder, AcceleratorConfig
+from repro.models import build_model
+from repro.search import Supernet
+
+
+@pytest.fixture(scope="module")
+def report():
+    model = build_model("lenet_slim", image_size=16, rng=0)
+    net = Supernet(model, rng=1)
+    builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+    design = builder.build_for_config(net, (1, 16, 16), ("B", "M", "B"),
+                                      name="lenet_slim")
+    return design.report
+
+
+class TestHeadlines:
+    def test_latency_positive(self, report):
+        assert report.latency_ms > 0
+
+    def test_power_positive(self, report):
+        assert report.total_power_w > 1.0  # at least static power
+
+    def test_energy_consistent(self, report):
+        assert report.energy_per_image_j == pytest.approx(
+            report.total_power_w * report.latency_ms / 1e3)
+
+    def test_clock(self, report):
+        assert report.clock_mhz == 181.0
+
+    def test_utilization_keys(self, report):
+        util = report.utilization_percent()
+        assert set(util) == {"DSP", "BRAM", "FF", "LUT"}
+        assert all(0 <= v <= 100 for v in util.values())
+
+
+class TestSummaryRow:
+    def test_keys(self, report):
+        row = report.summary_row()
+        for key in ("config", "latency_ms", "power_w", "energy_j",
+                    "bram_pct", "dsp_pct", "ff_pct"):
+            assert key in row
+
+    def test_config_string(self, report):
+        assert report.summary_row()["config"] == "B-M-B"
+
+
+class TestRender:
+    def test_contains_sections(self, report):
+        text = report.render()
+        for token in ("Synthesis Report", "Timing", "Utilization",
+                      "Power", "latency", "BRAM_36K", "DSP48",
+                      "ap_fixed<16,8>", "XCKU115"):
+            assert token in text
+
+    def test_contains_config(self, report):
+        assert "B-M-B" in report.render()

@@ -1,0 +1,143 @@
+"""End-to-end integration tests across all subsystems.
+
+These are the paper's headline claims exercised at CI scale: the EA on
+the trained supernet recovers exhaustive-search optima, searched
+configurations are Pareto-consistent, the GP cost model agrees with the
+analytic synthesis model, and phase 4 emits a coherent accelerator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import AcceleratorBuilder, AcceleratorConfig, emit_hls_project
+from repro.search import (
+    CandidateEvaluator,
+    EvolutionConfig,
+    EvolutionarySearch,
+    best_by_aim,
+    evaluate_all,
+    get_aim,
+    is_on_front,
+    metric_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluator(trained_supernet, mnist_splits, ood_small):
+    builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+    oracle = builder.latency_oracle(trained_supernet, (1, 16, 16))
+    return CandidateEvaluator(trained_supernet, mnist_splits.val,
+                              ood_small, latency_fn=oracle,
+                              num_mc_samples=3)
+
+
+@pytest.fixture(scope="module")
+def all_results(evaluator):
+    return evaluate_all(evaluator)
+
+
+class TestSearchRecoversExhaustiveOptima:
+    @pytest.mark.parametrize("aim_name", ["accuracy", "ece", "ape",
+                                          "latency"])
+    def test_ea_matches_exhaustive_optimum(self, evaluator, all_results,
+                                           aim_name):
+        aim = get_aim(aim_name)
+        exhaustive_best = best_by_aim(all_results, aim).aim_score(aim)
+        seeds = {"accuracy": 11, "ece": 22, "ape": 33, "latency": 44}
+        search = EvolutionarySearch(
+            evaluator, aim,
+            config=EvolutionConfig(population_size=12, generations=6),
+            rng=seeds[aim_name])
+        result = search.run()
+        # The 32-config LeNet space is small enough that the EA should
+        # recover the true optimum exactly (evaluations are memoized, so
+        # scores are deterministic within the run).
+        assert result.best_score == pytest.approx(exhaustive_best,
+                                                  abs=1e-9)
+
+
+class TestParetoConsistency:
+    def test_searched_configs_on_frontier(self, evaluator, all_results):
+        """Searched optima are frontier-consistent (paper Fig. 4).
+
+        With exact metric ties the EA may return a tie-winner that is
+        weakly dominated, so the assertion is: the searched result
+        achieves the exhaustive optimum of its aim, and some candidate
+        with that same aim score lies on the frontier.
+        """
+        metrics = ["ece", "ape", "accuracy"]
+        points = metric_matrix(all_results, metrics)
+        directions = ["min", "max", "max"]
+        for aim_name in ("accuracy", "ece", "ape"):
+            aim = get_aim(aim_name)
+            search = EvolutionarySearch(
+                evaluator, aim,
+                config=EvolutionConfig(population_size=12, generations=6),
+                rng=7)
+            best = search.run().best
+            exhaustive = best_by_aim(all_results, aim).aim_score(aim)
+            assert best.aim_score(aim) == pytest.approx(exhaustive,
+                                                        abs=1e-9)
+            tied = [r for r in all_results
+                    if r.aim_score(aim) == pytest.approx(exhaustive,
+                                                         abs=1e-9)]
+            assert any(
+                is_on_front([r.report.ece, r.report.ape,
+                             r.report.accuracy], points, directions)
+                for r in tied), aim_name
+
+
+class TestHardwareConsistency:
+    def test_latency_optimum_is_static_design(self, all_results):
+        best = best_by_aim(all_results, get_aim("latency"))
+        assert set(best.config) <= {"B", "M"}
+
+    def test_uniform_latency_ordering(self, evaluator):
+        lat = {}
+        for code in ("B", "M"):
+            lat[code] = evaluator.evaluate((code,) * 3).latency_ms
+        mixed_r = evaluator.evaluate(("R", "R", "B")).latency_ms
+        mixed_k = evaluator.evaluate(("K", "K", "B")).latency_ms
+        assert lat["M"] <= lat["B"] < mixed_r < mixed_k
+
+
+class TestPhase4:
+    def test_emit_best_design(self, trained_supernet, all_results,
+                              tmp_path):
+        best = best_by_aim(all_results, get_aim("accuracy"))
+        builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+        design = builder.build_for_config(trained_supernet, (1, 16, 16),
+                                          best.config, name="winner")
+        project = emit_hls_project(design, str(tmp_path),
+                                   model=trained_supernet.model,
+                                   project_name="winner")
+        assert (tmp_path / "reports" / "csynth.rpt").exists()
+        text = (tmp_path / "firmware" / "winner.cpp").read_text()
+        # Every active design must be instantiated in the firmware.
+        name_of = {"B": "bernoulli_dropout", "R": "random_dropout",
+                   "K": "block_dropout", "M": "masksembles_dropout"}
+        for code in set(best.config):
+            assert name_of[code] in text
+
+
+class TestQuantizedInference:
+    def test_fixed_point_model_keeps_accuracy(self, trained_supernet,
+                                              mnist_splits):
+        from repro.bayes import mc_predict
+        from repro.hw import quantize_module
+
+        trained_supernet.set_config(("M", "M", "M"))
+        images = mnist_splits.test.images
+        labels = mnist_splits.test.labels
+        pred_float = mc_predict(trained_supernet, images, 3)
+        acc_float = float((pred_float.predictions() == labels).mean())
+
+        state = trained_supernet.model.state_dict()
+        try:
+            quantize_module(trained_supernet.model)
+            pred_q = mc_predict(trained_supernet, images, 3)
+            acc_q = float((pred_q.predictions() == labels).mean())
+        finally:
+            trained_supernet.model.load_state_dict(state)
+        # <16,8> quantization must not collapse accuracy (QKeras claim).
+        assert acc_q >= acc_float - 0.1

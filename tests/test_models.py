@@ -1,0 +1,126 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LeNet,
+    ResNet18,
+    VGG11,
+    available_models,
+    build_model,
+    collect_slots,
+)
+
+
+def batch(ch, size, n=2, seed=0):
+    return np.random.default_rng(seed).normal(
+        size=(n, ch, size, size)).astype(np.float32)
+
+
+class TestLeNet:
+    def test_forward_shape(self):
+        model = LeNet(rng=0)
+        assert model(batch(1, 28)).shape == (2, 10)
+
+    def test_backward_shape(self):
+        model = LeNet(rng=0)
+        y = model(batch(1, 28))
+        assert model.backward(np.ones_like(y)).shape == (2, 1, 28, 28)
+
+    def test_paper_slot_specification(self):
+        # Two conv slots with all four choices, one FC slot with B/M.
+        slots = collect_slots(LeNet(rng=0))
+        assert len(slots) == 3
+        assert slots[0].choices == ["B", "R", "K", "M"]
+        assert slots[1].choices == ["B", "R", "K", "M"]
+        assert slots[2].choices == ["B", "M"]
+
+    def test_custom_image_size(self):
+        model = LeNet(image_size=16, rng=0)
+        assert model(batch(1, 16)).shape == (2, 10)
+
+    def test_width_mult_shrinks(self):
+        full = LeNet(rng=0)
+        slim = LeNet(width_mult=0.5, rng=0)
+        assert slim.num_parameters() < full.num_parameters()
+
+    def test_invalid_width_mult(self):
+        with pytest.raises(ValueError):
+            LeNet(width_mult=0.0)
+
+
+class TestVGG11:
+    def test_forward_shape(self):
+        model = VGG11(width_mult=0.125, rng=0)
+        assert model(batch(3, 32)).shape == (2, 10)
+
+    def test_four_slots(self):
+        slots = collect_slots(VGG11(width_mult=0.125, rng=0))
+        assert [s.name for s in slots] == [
+            "stage1", "stage2", "stage3", "stage4"]
+        assert all(s.choices == ["B", "R", "K", "M"] for s in slots)
+
+    def test_backward_runs(self):
+        model = VGG11(width_mult=0.125, rng=0)
+        y = model(batch(3, 32))
+        assert model.backward(np.ones_like(y)).shape == (2, 3, 32, 32)
+
+    def test_small_input_skips_extra_pools(self):
+        model = VGG11(width_mult=0.125, image_size=16, rng=0)
+        assert model(batch(3, 16)).shape == (2, 10)
+
+
+class TestResNet18:
+    def test_forward_shape(self):
+        model = ResNet18(width_mult=0.125, blocks_per_stage=1, rng=0)
+        assert model(batch(3, 32)).shape == (2, 10)
+
+    def test_backward_shape(self):
+        model = ResNet18(width_mult=0.125, blocks_per_stage=1, rng=0)
+        y = model(batch(3, 32))
+        assert model.backward(np.ones_like(y)).shape == (2, 3, 32, 32)
+
+    def test_four_stage_slots(self):
+        slots = collect_slots(
+            ResNet18(width_mult=0.125, blocks_per_stage=1, rng=0))
+        assert [s.name for s in slots] == [
+            "stage1", "stage2", "stage3", "stage4"]
+
+    def test_residual_gradient_flows_through_shortcut(self):
+        model = ResNet18(width_mult=0.125, blocks_per_stage=1, rng=0)
+        x = batch(3, 16, seed=1)
+        y = model(x)
+        g = model.backward(np.ones_like(y))
+        assert float(np.abs(g).sum()) > 0
+
+    def test_full_depth_has_more_params(self):
+        slim = ResNet18(width_mult=0.125, blocks_per_stage=1, rng=0)
+        deep = ResNet18(width_mult=0.125, blocks_per_stage=2, rng=0)
+        assert deep.num_parameters() > slim.num_parameters()
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert "lenet" in names and "resnet18_slim" in names
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("alexnet")
+
+    def test_default_channels(self):
+        lenet = build_model("lenet", rng=0)
+        assert lenet.in_channels == 1
+        resnet = build_model("resnet18_slim", rng=0)
+        assert resnet.in_channels == 3
+
+    def test_override_kwargs(self):
+        model = build_model("lenet_slim", width_mult=0.25, rng=0)
+        smaller = build_model("lenet", width_mult=0.25, rng=0)
+        assert model.num_parameters() == smaller.num_parameters()
+
+    def test_paper_param_count_lenet(self):
+        # Classic LeNet-5 on 28x28 has ~61.7k parameters.
+        model = build_model("lenet", rng=0)
+        assert model.num_parameters() == pytest.approx(61_706, abs=0)

@@ -1,0 +1,83 @@
+"""Tests for the fully connected BayesMLP."""
+
+import numpy as np
+import pytest
+
+from repro.models import BayesMLP, build_model, collect_slots
+from repro.search import SearchSpace, Supernet
+
+
+def batch(n=3, ch=1, size=16, seed=0):
+    return np.random.default_rng(seed).normal(
+        size=(n, ch, size, size)).astype(np.float32)
+
+
+class TestBayesMLP:
+    def test_forward_shape(self):
+        model = BayesMLP(image_size=16, rng=0)
+        assert model(batch()).shape == (3, 10)
+
+    def test_backward_shape(self):
+        model = BayesMLP(image_size=16, rng=0)
+        y = model(batch())
+        assert model.backward(np.ones_like(y)).shape == (3, 1, 16, 16)
+
+    def test_slots_fc_only(self):
+        model = BayesMLP(image_size=16, rng=0)
+        slots = collect_slots(model)
+        assert [s.name for s in slots] == ["fc1", "fc2"]
+        assert all(s.placement == "fc" for s in slots)
+        # FC placement excludes Block dropout.
+        assert all("K" not in s.choices for s in slots)
+
+    def test_custom_hidden(self):
+        model = BayesMLP(image_size=16, hidden=(64, 32, 16), rng=0)
+        assert len(collect_slots(model)) == 3
+
+    def test_no_hidden_rejected(self):
+        with pytest.raises(ValueError, match="hidden"):
+            BayesMLP(hidden=())
+
+    def test_width_mult(self):
+        full = BayesMLP(image_size=16, rng=0)
+        slim = BayesMLP(image_size=16, width_mult=0.25, rng=0)
+        assert slim.num_parameters() < full.num_parameters()
+
+
+class TestRegistry:
+    def test_build_model(self):
+        model = build_model("mlp", image_size=16, rng=0)
+        assert model.in_channels == 1
+        assert model(batch()).shape == (3, 10)
+
+    def test_slim_variant(self):
+        slim = build_model("mlp_slim", image_size=16, rng=0)
+        full = build_model("mlp", image_size=16, rng=0)
+        assert slim.num_parameters() < full.num_parameters()
+
+
+class TestSearchIntegration:
+    def test_space_from_mlp(self):
+        model = build_model("mlp_slim", image_size=16, rng=0)
+        space = SearchSpace.from_model(model)
+        # Two FC slots x {B, R, M}.
+        assert space.size == 9
+
+    def test_supernet_trains(self, mnist_splits):
+        from repro.search import TrainConfig, train_supernet
+        model = build_model("mlp_slim", image_size=16, rng=0)
+        net = Supernet(model, p=0.2, rng=1)
+        log = train_supernet(net, mnist_splits.train,
+                             TrainConfig(epochs=3), rng=2)
+        assert log.epoch_losses[-1] < log.epoch_losses[0]
+
+    def test_hardware_model_handles_mlp(self):
+        from repro.hw import AcceleratorConfig, estimate, trace_network
+        model = build_model("mlp_slim", image_size=16, rng=0)
+        net = Supernet(model, rng=1)
+        net.set_config(("B", "M"))
+        netlist = trace_network(net.model, (1, 16, 16))
+        perf = estimate(netlist, AcceleratorConfig(pe=8))
+        assert perf.latency_ms > 0
+        kinds = {l.kind for l in netlist.layers}
+        assert "conv2d" not in kinds  # FC-only, like VIBNN workloads

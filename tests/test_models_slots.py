@@ -1,0 +1,116 @@
+"""Tests for DropoutSlot."""
+
+import numpy as np
+import pytest
+
+from repro.dropout import BernoulliDropout, BlockDropout, Masksembles
+from repro.models.slots import DropoutSlot, collect_slots
+from repro.models import build_model
+
+
+class TestConstruction:
+    def test_defaults_to_placement_legal_choices(self):
+        assert DropoutSlot("s", "conv").choices == ["B", "R", "K", "M"]
+        assert DropoutSlot("s", "fc").choices == ["B", "R", "M"]
+
+    def test_custom_choices_normalized(self):
+        slot = DropoutSlot("s", "fc", choices=["bernoulli", "M"])
+        assert slot.choices == ["B", "M"]
+
+    def test_illegal_choice_rejected(self):
+        with pytest.raises(ValueError, match="not legal"):
+            DropoutSlot("s", "fc", choices=["K"])
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DropoutSlot("s", "conv", choices=["B", "B"])
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            DropoutSlot("s", "embedding")
+
+    def test_starts_as_identity(self):
+        slot = DropoutSlot("s", "conv")
+        x = np.ones((1, 2, 3, 3), dtype=np.float32)
+        assert slot(x) is x
+        assert slot.active_code is None
+
+
+class TestSetDesign:
+    def test_installs_layer(self):
+        slot = DropoutSlot("s", "conv")
+        slot.set_design(BernoulliDropout(0.5, rng=0))
+        assert slot.active_code == "B"
+
+    def test_rejects_inadmissible_design(self):
+        slot = DropoutSlot("s", "fc", choices=["B", "M"])
+        with pytest.raises(ValueError, match="not admissible"):
+            slot.set_design(BlockDropout(0.5))  # K not even legal at fc
+
+    def test_clear_with_none(self):
+        slot = DropoutSlot("s", "conv")
+        slot.set_design(BernoulliDropout(0.5, rng=0))
+        slot.set_design(None)
+        assert slot.active_code is None
+
+
+class TestChoiceBank:
+    def test_bank_covers_choices(self):
+        slot = DropoutSlot("s", "conv")
+        slot.build_choice_bank(rng=0, p=0.2)
+        assert set(slot.bank) == {"B", "R", "K", "M"}
+
+    def test_select_switches_active(self):
+        slot = DropoutSlot("s", "conv")
+        slot.build_choice_bank(rng=0)
+        slot.select("K")
+        assert slot.active_code == "K"
+        assert isinstance(slot.active, BlockDropout)
+
+    def test_select_without_bank_raises(self):
+        slot = DropoutSlot("s", "conv")
+        with pytest.raises(RuntimeError, match="choice bank"):
+            slot.select("B")
+
+    def test_select_unknown_raises(self):
+        slot = DropoutSlot("s", "fc", choices=["B", "M"])
+        slot.build_choice_bank(rng=0)
+        with pytest.raises(KeyError):
+            slot.select("R")
+
+    def test_select_syncs_training_flag(self):
+        slot = DropoutSlot("s", "conv")
+        slot.build_choice_bank(rng=0)
+        slot.training = False
+        slot.select("B")
+        assert slot.active.training is False
+
+    def test_forward_backward_delegate(self):
+        slot = DropoutSlot("s", "conv")
+        slot.build_choice_bank(rng=0, p=0.5)
+        slot.select("B")
+        x = np.ones((2, 4, 5, 5), dtype=np.float32)
+        y = slot(x)
+        g = slot.backward(np.ones_like(x))
+        assert np.array_equal(g == 0, y == 0)
+
+    def test_new_sample_rotates_masksembles(self):
+        slot = DropoutSlot("s", "conv")
+        slot.build_choice_bank(rng=0, num_masks=4, scale=2.0)
+        slot.select("M")
+        x = np.ones((1, 16, 3, 3), dtype=np.float32)
+        y0 = slot(x)
+        slot.new_sample()
+        assert not np.array_equal(y0, slot(x))
+
+
+class TestCollectSlots:
+    def test_lenet_order_and_uniqueness(self):
+        model = build_model("lenet", rng=0)
+        slots = collect_slots(model)
+        assert [s.name for s in slots] == ["conv1", "conv2", "fc"]
+
+    def test_resnet_stages(self):
+        model = build_model("resnet18_slim", rng=0)
+        names = [s.name for s in collect_slots(model)]
+        assert names == ["stage1", "stage2", "stage3", "stage4"]

@@ -1,0 +1,71 @@
+"""Tests for activation and shape-adapter layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.gradcheck import layer_input_gradcheck
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = nn.ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        assert np.array_equal(relu(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = nn.ReLU()
+        x = np.array([[-1.0, 3.0]], dtype=np.float32)
+        relu(x)
+        g = relu.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        assert np.array_equal(g, [[0.0, 5.0]])
+
+    def test_gradcheck_away_from_kink(self):
+        x = np.random.default_rng(0).normal(size=(3, 8))
+        x[np.abs(x) < 0.05] = 0.5  # keep clear of the kink
+        layer_input_gradcheck(nn.ReLU(), x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.ReLU().backward(np.zeros((1, 1), dtype=np.float32))
+
+
+class TestLeakyReLU:
+    def test_forward_slope(self):
+        act = nn.LeakyReLU(0.1)
+        x = np.array([[-10.0, 10.0]], dtype=np.float32)
+        assert np.allclose(act(x), [[-1.0, 10.0]])
+
+    def test_backward_slope(self):
+        act = nn.LeakyReLU(0.1)
+        x = np.array([[-1.0, 1.0]], dtype=np.float32)
+        act(x)
+        g = act.backward(np.ones_like(x))
+        assert np.allclose(g, [[0.1, 1.0]])
+
+    def test_gradcheck(self):
+        x = np.random.default_rng(1).normal(size=(2, 6))
+        x[np.abs(x) < 0.05] = 0.5
+        layer_input_gradcheck(nn.LeakyReLU(0.2), x)
+
+
+class TestFlatten:
+    def test_forward_shape(self):
+        flat = nn.Flatten()
+        assert flat(np.zeros((2, 3, 4, 5), dtype=np.float32)).shape == (2, 60)
+
+    def test_backward_restores_shape(self):
+        flat = nn.Flatten()
+        x = np.zeros((2, 3, 4), dtype=np.float32)
+        flat(x)
+        g = flat.backward(np.ones((2, 12), dtype=np.float32))
+        assert g.shape == (2, 3, 4)
+
+    def test_values_preserved(self):
+        flat = nn.Flatten()
+        x = np.arange(6, dtype=np.float32).reshape(1, 2, 3)
+        assert np.array_equal(flat(x)[0], np.arange(6))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.Flatten().backward(np.zeros((1, 1), dtype=np.float32))

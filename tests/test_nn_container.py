@@ -1,0 +1,72 @@
+"""Tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestConstruction:
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError, match="Module"):
+            nn.Sequential(nn.ReLU(), "not a module")
+
+    def test_append_chains(self):
+        seq = nn.Sequential()
+        result = seq.append(nn.ReLU())
+        assert result is seq
+        assert len(seq) == 1
+
+    def test_append_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            nn.Sequential().append(42)
+
+
+class TestForwardBackward:
+    def test_runs_in_order(self):
+        seq = nn.Sequential(nn.Linear(3, 4, rng=0), nn.ReLU(),
+                            nn.Linear(4, 2, rng=1))
+        x = np.random.default_rng(0).normal(size=(5, 3)).astype(np.float32)
+        assert seq(x).shape == (5, 2)
+
+    def test_backward_matches_manual_composition(self):
+        fc1 = nn.Linear(3, 4, rng=0)
+        fc2 = nn.Linear(4, 2, rng=1)
+        seq = nn.Sequential(fc1, fc2)
+        x = np.random.default_rng(1).normal(size=(2, 3)).astype(np.float32)
+        y = seq(x)
+        g = seq.backward(np.ones_like(y))
+        # Manual composition with identical weights.
+        fc1b = nn.Linear(3, 4, rng=0)
+        fc2b = nn.Linear(4, 2, rng=1)
+        yb = fc2b(fc1b(x))
+        gb = fc1b.backward(fc2b.backward(np.ones_like(yb)))
+        assert np.allclose(g, gb)
+
+    def test_empty_sequential_is_identity(self):
+        seq = nn.Sequential()
+        x = np.ones((2, 2), dtype=np.float32)
+        assert seq(x) is x
+        assert seq.backward(x) is x
+
+
+class TestIndexing:
+    def test_getitem(self):
+        relu = nn.ReLU()
+        seq = nn.Sequential(nn.Linear(2, 2, rng=0), relu)
+        assert seq[1] is relu
+
+    def test_slice_returns_sequential(self):
+        seq = nn.Sequential(nn.ReLU(), nn.ReLU(), nn.ReLU())
+        sub = seq[:2]
+        assert isinstance(sub, nn.Sequential)
+        assert len(sub) == 2
+
+    def test_iteration(self):
+        layers = [nn.ReLU(), nn.Flatten()]
+        seq = nn.Sequential(*layers)
+        assert list(seq) == layers
+
+    def test_parameters_found_through_list(self):
+        seq = nn.Sequential(nn.Linear(2, 3, rng=0))
+        assert seq.num_parameters() == 2 * 3 + 3

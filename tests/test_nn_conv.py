@@ -1,0 +1,109 @@
+"""Tests for Conv2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.gradcheck import layer_input_gradcheck, layer_param_gradcheck
+
+
+class TestForward:
+    def test_output_shape_same_padding(self):
+        conv = nn.Conv2d(3, 8, 3, padding=1, rng=0)
+        x = np.zeros((2, 3, 10, 10), dtype=np.float32)
+        assert conv(x).shape == (2, 8, 10, 10)
+
+    def test_output_shape_stride(self):
+        conv = nn.Conv2d(1, 4, 3, stride=2, padding=1, rng=0)
+        assert conv(np.zeros((1, 1, 8, 8), dtype=np.float32)).shape == (1, 4, 4, 4)
+
+    def test_known_values_identity_kernel(self):
+        conv = nn.Conv2d(1, 1, 1, bias=False, rng=0)
+        conv.weight.data[:] = 2.0
+        x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+        assert np.allclose(conv(x), 2.0 * x)
+
+    def test_bias_added(self):
+        conv = nn.Conv2d(1, 2, 1, rng=0)
+        conv.weight.data[:] = 0.0
+        conv.bias.data[:] = [1.0, -1.0]
+        y = conv(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        assert np.allclose(y[0, 0], 1.0)
+        assert np.allclose(y[0, 1], -1.0)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        conv = nn.Conv2d(2, 3, 3, padding=1, rng=1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        y = conv(x)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        w = conv.weight.data
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    ref = (xp[0, :, i:i + 3, j:j + 3] * w[f]).sum() + conv.bias.data[f]
+                    assert y[0, f, i, j] == pytest.approx(ref, abs=1e-4)
+
+    def test_wrong_channels_raises(self):
+        conv = nn.Conv2d(3, 4, 3, rng=0)
+        with pytest.raises(ValueError, match="channels"):
+            conv(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_3d_input_raises(self):
+        conv = nn.Conv2d(3, 4, 3, rng=0)
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            conv(np.zeros((3, 8, 8), dtype=np.float32))
+
+
+class TestBackward:
+    def test_input_gradient(self):
+        conv = nn.Conv2d(2, 3, 3, padding=1, rng=0)
+        x = np.random.default_rng(1).normal(size=(2, 2, 6, 6))
+        layer_input_gradcheck(conv, x)
+
+    def test_param_gradient(self):
+        conv = nn.Conv2d(2, 3, 3, padding=1, rng=0)
+        x = np.random.default_rng(2).normal(size=(2, 2, 5, 5))
+        layer_param_gradcheck(conv, x)
+
+    def test_strided_gradients(self):
+        conv = nn.Conv2d(1, 2, 3, stride=2, padding=1, rng=3)
+        x = np.random.default_rng(3).normal(size=(1, 1, 7, 7))
+        layer_input_gradcheck(conv, x)
+        layer_param_gradcheck(conv, x)
+
+    def test_backward_before_forward_raises(self):
+        conv = nn.Conv2d(1, 1, 3, rng=0)
+        with pytest.raises(RuntimeError, match="before forward"):
+            conv.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+    def test_grad_accumulates(self):
+        conv = nn.Conv2d(1, 1, 3, rng=0)
+        x = np.ones((1, 1, 5, 5), dtype=np.float32)
+        g = np.ones((1, 1, 3, 3), dtype=np.float32)
+        conv(x)
+        conv.backward(g)
+        first = conv.weight.grad.copy()
+        conv(x)
+        conv.backward(g)
+        assert np.allclose(conv.weight.grad, 2 * first)
+
+
+class TestMeta:
+    def test_macs_per_image(self):
+        conv = nn.Conv2d(3, 8, 5, padding=2, rng=0)
+        # 10x10 output, 8 filters, 3*25 macs each.
+        assert conv.macs_per_image(10, 10) == 10 * 10 * 8 * 3 * 25
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 3, stride=0)
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 3, padding=-1)
+
+    def test_no_bias(self):
+        conv = nn.Conv2d(1, 1, 3, bias=False, rng=0)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1

@@ -1,0 +1,135 @@
+"""Tests for the stateless numerical kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad2d,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(28, 5, 1, 2) == 28
+
+    def test_valid(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+    def test_stride(self):
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad2d:
+    def test_zero_padding_is_identity(self):
+        x = np.ones((1, 1, 3, 3))
+        assert pad2d(x, 0) is x
+
+    def test_padding_shape_and_zeros(self):
+        x = np.ones((1, 1, 3, 3))
+        out = pad2d(x, 2)
+        assert out.shape == (1, 1, 7, 7)
+        assert out[0, 0, 0, 0] == 0
+        assert out[0, 0, 2, 2] == 1
+
+
+class TestIm2col:
+    def test_known_2x2(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, 0)
+        assert cols.shape == (1, 4, 4)
+        # First window is the top-left 2x2 block.
+        assert np.array_equal(cols[0, :, 0], [0, 1, 4, 5])
+        # Last window is the bottom-right block.
+        assert np.array_equal(cols[0, :, 3], [10, 11, 14, 15])
+
+    def test_channel_ordering(self):
+        x = np.stack([np.zeros((3, 3)), np.ones((3, 3))])[None]
+        cols = im2col(x.astype(np.float32), 3, 1, 0)
+        assert np.array_equal(cols[0, :9, 0], np.zeros(9))
+        assert np.array_equal(cols[0, 9:, 0], np.ones(9))
+
+    def test_conv_equals_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        cols = im2col(x, 3, 1, 1)
+        y = np.einsum("fk,nkl->nfl", w.reshape(4, -1), cols).reshape(2, 4, 6, 6)
+        # Naive direct convolution.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros_like(y)
+        for oh in range(6):
+            for ow in range(6):
+                patch = xp[:, :, oh:oh + 3, ow:ow + 3]
+                naive[:, :, oh, ow] = np.einsum("ncij,fcij->nf", patch, w)
+        assert np.allclose(y, naive, atol=1e-4)
+
+    def test_col2im_adjoint_property(self):
+        # <im2col(x), y> == <x, col2im(y)> for all x, y: the transpose
+        # identity that makes backward correct.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        cols = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape).astype(np.float32)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        z = np.random.default_rng(0).normal(size=(5, 7))
+        assert np.allclose(softmax(z).sum(axis=1), 1.0, atol=1e-6)
+
+    def test_shift_invariance(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(z), softmax(z + 100.0), atol=1e-6)
+
+    def test_log_softmax_consistency(self):
+        z = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.allclose(np.exp(log_softmax(z)), softmax(z), atol=1e-6)
+
+    def test_extreme_logits_stable(self):
+        z = np.array([[1000.0, -1000.0]])
+        p = softmax(z)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_bounds_property(self, logits):
+        p = softmax(np.array([logits]))
+        assert (p >= 0).all() and (p <= 1).all()
+        assert p.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="lie in"):
+            one_hot(np.array([3]), 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_is_ok(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)

@@ -1,0 +1,51 @@
+"""Tests for weight initialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanInOut:
+    def test_linear_shape(self):
+        assert init._fan_in_out((10, 20)) == (20, 10)
+
+    def test_conv_shape(self):
+        # (out, in, kh, kw) = (8, 3, 5, 5): fan_in = 3*25, fan_out = 8*25.
+        assert init._fan_in_out((8, 3, 5, 5)) == (75, 200)
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((3,))
+
+
+class TestHeNormal:
+    def test_std_matches_formula(self):
+        w = init.he_normal((256, 128), rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 128), rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(init.he_normal((4, 4), rng=1),
+                              init.he_normal((4, 4), rng=1))
+
+    def test_dtype(self):
+        assert init.he_normal((2, 2), rng=0).dtype == np.float32
+
+
+class TestXavierUniform:
+    def test_bounds(self):
+        w = init.xavier_uniform((64, 64), rng=0)
+        limit = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= limit
+
+    def test_mean_near_zero(self):
+        w = init.xavier_uniform((128, 128), rng=1)
+        assert abs(w.mean()) < 0.01
+
+
+class TestConstant:
+    def test_zeros(self):
+        assert np.array_equal(init.zeros((3,)), np.zeros(3))
+
+    def test_ones(self):
+        assert np.array_equal(init.ones((2, 2)), np.ones((2, 2)))

@@ -1,0 +1,73 @@
+"""Tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.gradcheck import layer_input_gradcheck, layer_param_gradcheck
+
+
+class TestForward:
+    def test_known_values(self):
+        fc = nn.Linear(2, 2, rng=0)
+        fc.weight.data[:] = [[1.0, 2.0], [3.0, 4.0]]
+        fc.bias.data[:] = [0.5, -0.5]
+        y = fc(np.array([[1.0, 1.0]], dtype=np.float32))
+        assert np.allclose(y, [[3.5, 6.5]])
+
+    def test_no_bias(self):
+        fc = nn.Linear(3, 2, bias=False, rng=0)
+        assert fc.bias is None
+        y = fc(np.zeros((1, 3), dtype=np.float32))
+        assert np.allclose(y, 0.0)
+
+    def test_batched(self):
+        fc = nn.Linear(4, 5, rng=0)
+        assert fc(np.zeros((7, 4), dtype=np.float32)).shape == (7, 5)
+
+    def test_wrong_features_raises(self):
+        fc = nn.Linear(4, 5, rng=0)
+        with pytest.raises(ValueError, match="expected input"):
+            fc(np.zeros((2, 3), dtype=np.float32))
+
+    def test_3d_input_raises(self):
+        fc = nn.Linear(4, 5, rng=0)
+        with pytest.raises(ValueError):
+            fc(np.zeros((2, 2, 4), dtype=np.float32))
+
+
+class TestBackward:
+    def test_input_gradient(self):
+        fc = nn.Linear(6, 4, rng=0)
+        x = np.random.default_rng(0).normal(size=(3, 6))
+        layer_input_gradcheck(fc, x)
+
+    def test_param_gradient(self):
+        fc = nn.Linear(5, 3, rng=1)
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        layer_param_gradcheck(fc, x)
+
+    def test_backward_before_forward_raises(self):
+        fc = nn.Linear(2, 2, rng=0)
+        with pytest.raises(RuntimeError):
+            fc.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_exact_gradients(self):
+        # For y = xW^T + b with upstream gradient G:
+        # dW = G^T x, db = sum(G), dx = G W.
+        fc = nn.Linear(3, 2, rng=0)
+        x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        g = np.array([[1.0, -1.0]], dtype=np.float32)
+        fc(x)
+        dx = fc.backward(g)
+        assert np.allclose(fc.weight.grad, g.T @ x)
+        assert np.allclose(fc.bias.grad, g.sum(axis=0))
+        assert np.allclose(dx, g @ fc.weight.data)
+
+
+class TestValidation:
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+        with pytest.raises(ValueError):
+            nn.Linear(3, 0)

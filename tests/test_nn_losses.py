@@ -1,0 +1,85 @@
+"""Tests for CrossEntropyLoss."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.functional import log_softmax, softmax
+
+
+class TestForward:
+    def test_uniform_logits_give_log_k(self):
+        crit = nn.CrossEntropyLoss()
+        logits = np.zeros((4, 10), dtype=np.float32)
+        loss = crit(logits, np.arange(4))
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_confident_correct_gives_small_loss(self):
+        crit = nn.CrossEntropyLoss()
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]], dtype=np.float32)
+        assert crit(logits, np.array([0, 1])) < 1e-6
+
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, 6)
+        crit = nn.CrossEntropyLoss()
+        loss = crit(logits, labels)
+        manual = -log_softmax(logits)[np.arange(6), labels].mean()
+        assert loss == pytest.approx(float(manual), rel=1e-5)
+
+    def test_label_smoothing_penalizes_overconfidence(self):
+        hard = nn.CrossEntropyLoss()
+        smooth = nn.CrossEntropyLoss(label_smoothing=0.2)
+        logits = np.array([[50.0, 0.0, 0.0]], dtype=np.float32)
+        labels = np.array([0])
+        assert smooth(logits, labels) > hard(logits, labels)
+
+    def test_1d_logits_raise(self):
+        with pytest.raises(ValueError, match=r"\(N, K\)"):
+            nn.CrossEntropyLoss()(np.zeros(3), np.array([0]))
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestBackward:
+    def test_gradient_is_probs_minus_onehot(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        crit = nn.CrossEntropyLoss()
+        crit(logits, labels)
+        grad = crit.backward()
+        expected = softmax(logits)
+        expected[np.arange(4), labels] -= 1.0
+        expected /= 4
+        assert np.allclose(grad, expected, atol=1e-6)
+
+    def test_numeric_gradient(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 4)).astype(np.float64)
+        labels = np.array([1, 0, 3])
+        crit = nn.CrossEntropyLoss(label_smoothing=0.1)
+        crit(logits, labels)
+        grad = crit.backward()
+        eps = 1e-5
+        for idx in [(0, 0), (1, 2), (2, 3)]:
+            lp = logits.copy()
+            lp[idx] += eps
+            lm = logits.copy()
+            lm[idx] -= eps
+            num = (crit(lp, labels) - crit(lm, labels)) / (2 * eps)
+            assert grad[idx] == pytest.approx(num, abs=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.CrossEntropyLoss().backward()
+
+    def test_backward_consumes_cache(self):
+        crit = nn.CrossEntropyLoss()
+        crit(np.zeros((1, 2)), np.array([0]))
+        crit.backward()
+        with pytest.raises(RuntimeError):
+            crit.backward()

@@ -1,0 +1,152 @@
+"""Tests for the Module/Parameter core."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Identity, Module, Parameter
+
+
+class TestParameter:
+    def test_stores_float32(self):
+        p = Parameter(np.arange(4, dtype=np.float64))
+        assert p.data.dtype == np.float32
+
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones(3))
+        assert np.array_equal(p.grad, np.zeros(3))
+
+    def test_zero_grad_in_place(self):
+        p = Parameter(np.ones(3))
+        grad_ref = p.grad
+        p.grad += 2.0
+        p.zero_grad()
+        assert p.grad is grad_ref
+        assert np.array_equal(p.grad, np.zeros(3))
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((2, 3)))
+        assert p.shape == (2, 3)
+        assert p.size == 6
+
+
+class _Net(Module):
+    """Tiny composite used by discovery tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=0)
+        self.body = nn.Sequential(nn.ReLU(), nn.Linear(3, 2, rng=1))
+        self._hidden = nn.Linear(9, 9, rng=2)  # private: not walked
+
+    def forward(self, x):
+        return self.body(self.fc1(x))
+
+    def backward(self, g):
+        return self.fc1.backward(self.body.backward(g))
+
+
+class TestModuleDiscovery:
+    def test_children_names(self):
+        net = _Net()
+        names = [name for name, _ in net.children()]
+        assert names == ["fc1", "body"]
+
+    def test_private_attributes_not_walked(self):
+        net = _Net()
+        names = [name for name, _ in net.named_parameters()]
+        assert not any(name.startswith("_hidden") for name in names)
+
+    def test_modules_deduplicates_shared_references(self):
+        net = _Net()
+        net.alias = net.fc1  # same module through two attributes
+        mods = list(net.modules())
+        assert len(mods) == len({id(m) for m in mods})
+
+    def test_parameters_dedup(self):
+        net = _Net()
+        net.alias = net.fc1
+        assert net.num_parameters() == (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_named_parameters_paths(self):
+        net = _Net()
+        names = {name for name, _ in net.named_parameters()}
+        assert "fc1.weight" in names
+        assert "body.layers.1.bias" in names
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = _Net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_recursive(self):
+        net = _Net()
+        for p in net.parameters():
+            p.grad += 1.0
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = _Net(), _Net()
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        assert np.allclose(a(x), b(x))
+
+    def test_missing_key_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = _Net()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_state_dict_values_are_copies(self):
+        net = _Net()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.any(net.fc1.weight.data == 99.0)
+
+    def test_batchnorm_buffers_roundtrip(self):
+        bn1 = nn.BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(size=(4, 3, 5, 5)).astype(np.float32)
+        bn1(x)
+        bn2 = nn.BatchNorm2d(3)
+        bn2.load_state_dict(bn1.state_dict())
+        assert np.allclose(bn1.running_mean, bn2.running_mean)
+        assert np.allclose(bn1.running_var, bn2.running_var)
+
+
+class TestIdentity:
+    def test_forward_backward_passthrough(self):
+        layer = Identity()
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert layer(x) is x
+        assert layer.backward(x) is x
+
+
+class TestRepr:
+    def test_leaf_repr(self):
+        assert "Linear" in repr(nn.Linear(2, 3))
+
+    def test_composite_repr_lists_children(self):
+        text = repr(_Net())
+        assert "fc1" in text and "body" in text

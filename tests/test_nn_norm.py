@@ -1,0 +1,81 @@
+"""Tests for BatchNorm2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.gradcheck import layer_input_gradcheck, layer_param_gradcheck
+
+
+class TestTrainingMode:
+    def test_normalizes_batch(self):
+        bn = nn.BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(2.0, 3.0,
+                                            size=(8, 3, 5, 5)).astype(np.float32)
+        y = bn(x)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_affine_applies(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[:] = [2.0, 1.0]
+        bn.bias.data[:] = [0.0, 5.0]
+        x = np.random.default_rng(1).normal(size=(4, 2, 3, 3)).astype(np.float32)
+        y = bn(x)
+        assert y[:, 1].mean() == pytest.approx(5.0, abs=1e-4)
+        assert y[:, 0].std() == pytest.approx(2.0, abs=0.05)
+
+    def test_running_stats_update(self):
+        bn = nn.BatchNorm2d(1, momentum=0.5)
+        x = np.full((2, 1, 2, 2), 4.0, dtype=np.float32)
+        bn(x)
+        # running_mean = 0.5*0 + 0.5*4 = 2
+        assert bn.running_mean[0] == pytest.approx(2.0)
+
+
+class TestEvalMode:
+    def test_uses_running_stats(self):
+        bn = nn.BatchNorm2d(1)
+        bn.running_mean[:] = 1.0
+        bn.running_var[:] = 4.0
+        bn.eval()
+        x = np.full((1, 1, 1, 1), 3.0, dtype=np.float32)
+        # (3 - 1) / sqrt(4) = 1
+        assert bn(x)[0, 0, 0, 0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_eval_does_not_update_stats(self):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(np.random.default_rng(0).normal(size=(4, 1, 3, 3)).astype(np.float32))
+        assert np.array_equal(bn.running_mean, before)
+
+    def test_backward_in_eval_raises(self):
+        bn = nn.BatchNorm2d(1)
+        bn.eval()
+        bn(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        with pytest.raises(RuntimeError, match="training-mode"):
+            bn.backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+class TestBackward:
+    def test_input_gradcheck(self):
+        bn = nn.BatchNorm2d(2)
+        x = np.random.default_rng(2).normal(size=(4, 2, 3, 3))
+        layer_input_gradcheck(bn, x, eps=1e-2, atol=5e-3)
+
+    def test_param_gradcheck(self):
+        bn = nn.BatchNorm2d(2)
+        x = np.random.default_rng(3).normal(size=(4, 2, 3, 3))
+        layer_param_gradcheck(bn, x, eps=1e-2, atol=5e-3)
+
+
+class TestValidation:
+    def test_wrong_channels_raises(self):
+        bn = nn.BatchNorm2d(3)
+        with pytest.raises(ValueError, match="channels"):
+            bn(np.zeros((1, 2, 2, 2), dtype=np.float32))
+
+    def test_invalid_features_raise(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(0)

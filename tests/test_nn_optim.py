@@ -1,0 +1,130 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_step(opt, p, target=0.0):
+    """One optimization step on f(p) = 0.5 * (p - target)^2."""
+    p.zero_grad()
+    p.grad += p.data - target
+    opt.step()
+
+
+class TestSGD:
+    def test_plain_sgd_update(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        plain = nn.SGD([p1], lr=0.05)
+        heavy = nn.SGD([p2], lr=0.05, momentum=0.9)
+        for _ in range(10):
+            quadratic_step(plain, p1)
+            quadratic_step(heavy, p2)
+        assert abs(p2.data[0]) != pytest.approx(abs(p1.data[0]), abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = nn.SGD([p], lr=0.2, momentum=0.5)
+        for _ in range(100):
+            quadratic_step(opt, p, target=2.0)
+        assert p.data[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.zero_grad()  # zero task gradient; only decay acts
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            nn.SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.01)
+        quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(1.0 - 0.01, abs=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = nn.Adam([p], lr=0.3)
+        for _ in range(200):
+            quadratic_step(opt, p, target=-1.0)
+        assert p.data[0] == pytest.approx(-1.0, abs=1e-2)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            nn.Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_trains_small_network(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 4)).astype(np.float32)
+        y = (x.sum(axis=1) > 0).astype(np.int64)
+        net = nn.Sequential(nn.Linear(4, 16, rng=1), nn.ReLU(),
+                            nn.Linear(16, 2, rng=2))
+        crit = nn.CrossEntropyLoss()
+        opt = nn.Adam(net.parameters(), lr=5e-3)
+        first = crit(net(x), y)
+        for _ in range(60):
+            crit(net(x), y)
+            opt.zero_grad()
+            net.backward(crit.backward())
+            opt.step()
+        assert crit(net(x), y) < first * 0.3
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+        assert all(lrs[i] >= lrs[i + 1] for i in range(9))
+
+    def test_scheduler_updates_optimizer(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_invalid_step_size(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.StepLR(opt, step_size=0)
+
+    def test_invalid_t_max(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(opt, t_max=0)

@@ -1,0 +1,149 @@
+"""Property-based tests of core numerical invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.functional import col2im, im2col
+
+
+def small_images(max_n=3, max_c=3, max_hw=8):
+    return st.tuples(
+        st.integers(1, max_n), st.integers(1, max_c),
+        st.integers(3, max_hw), st.integers(3, max_hw),
+    )
+
+
+class TestConvProperties:
+    @given(small_images(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, shape, seed):
+        """conv(a*x + b*y) == a*conv(x) + b*conv(y) without bias."""
+        rng = np.random.default_rng(seed)
+        n, c, h, w = shape
+        conv = nn.Conv2d(c, 2, 3, padding=1, bias=False, rng=seed)
+        x = rng.normal(size=shape).astype(np.float32)
+        y = rng.normal(size=shape).astype(np.float32)
+        a, b = 2.0, -0.5
+        lhs = conv(a * x + b * y)
+        rhs = a * conv(x) + b * conv(y)
+        assert np.allclose(lhs, rhs, atol=1e-3)
+
+    @given(small_images(), st.integers(1, 3), st.integers(1, 2),
+           st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_im2col_col2im_adjoint(self, shape, kernel, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> for random shapes."""
+        n, c, h, w = shape
+        if h + 2 * padding < kernel or w + 2 * padding < kernel:
+            return
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=shape).astype(np.float32)
+        cols = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape).astype(np.float32)
+        lhs = float((cols.astype(np.float64) * y).sum())
+        back = col2im(y, shape, kernel, stride, padding)
+        rhs = float((x.astype(np.float64) * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+    @given(small_images())
+    @settings(max_examples=20, deadline=None)
+    def test_zero_input_zero_output(self, shape):
+        n, c, h, w = shape
+        conv = nn.Conv2d(c, 2, 3, padding=1, bias=False, rng=0)
+        out = conv(np.zeros(shape, dtype=np.float32))
+        assert np.allclose(out, 0.0)
+
+
+class TestPoolingProperties:
+    @given(small_images(max_hw=10))
+    @settings(max_examples=25, deadline=None)
+    def test_maxpool_bounds(self, shape):
+        """Pooled values always appear in the input window range."""
+        n, c, h, w = shape
+        if h < 2 or w < 2:
+            return
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=shape).astype(np.float32)
+        y = nn.MaxPool2d(2)(x)
+        assert y.max() <= x.max() + 1e-6
+        assert y.min() >= x.min() - 1e-6
+
+    @given(small_images(max_hw=10))
+    @settings(max_examples=25, deadline=None)
+    def test_avgpool_mean_preserved_exactly_tiled(self, shape):
+        n, c, h, w = shape
+        h -= h % 2
+        w -= w % 2
+        if h < 2 or w < 2:
+            return
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(n, c, h, w)).astype(np.float32)
+        y = nn.AvgPool2d(2)(x)
+        assert float(y.mean()) == pytest.approx(float(x.mean()),
+                                                abs=1e-4)
+
+    @given(small_images(max_hw=10))
+    @settings(max_examples=20, deadline=None)
+    def test_global_pool_equals_mean(self, shape):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=shape).astype(np.float32)
+        y = nn.GlobalAvgPool2d()(x)
+        assert np.allclose(y, x.mean(axis=(2, 3)), atol=1e-5)
+
+
+class TestTrainingProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_descent_reduces_loss_on_linear_model(self, seed):
+        """One small-enough GD step never increases a convex loss."""
+        rng = np.random.default_rng(seed)
+        fc = nn.Linear(6, 3, rng=seed)
+        crit = nn.CrossEntropyLoss()
+        x = rng.normal(size=(16, 6)).astype(np.float32)
+        y = rng.integers(0, 3, 16)
+        opt = nn.SGD(fc.parameters(), lr=1e-3)
+        before = crit(fc(x), y)
+        fc.zero_grad()
+        crit(fc(x), y)
+        fc.backward(crit.backward())
+        opt.step()
+        after = crit(fc(x), y)
+        assert after <= before + 1e-6
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_state_dict_roundtrip_preserves_output(self, seed):
+        net = nn.Sequential(nn.Linear(4, 5, rng=seed), nn.ReLU(),
+                            nn.Linear(5, 3, rng=seed + 1))
+        clone = nn.Sequential(nn.Linear(4, 5, rng=99), nn.ReLU(),
+                              nn.Linear(5, 3, rng=98))
+        clone.load_state_dict(net.state_dict())
+        x = np.random.default_rng(seed).normal(size=(4, 4)).astype(
+            np.float32)
+        assert np.allclose(net(x), clone(x))
+
+
+class TestBatchNormProperties:
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_training_output_statistics(self, channels, seed):
+        bn = nn.BatchNorm2d(channels)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(3.0, 2.5, size=(8, channels, 4, 4)).astype(
+            np.float32)
+        y = bn(x)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-3)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_eval_mode_is_deterministic_affine(self, seed):
+        bn = nn.BatchNorm2d(3)
+        rng = np.random.default_rng(seed)
+        # Populate running stats, then freeze.
+        bn(rng.normal(size=(8, 3, 4, 4)).astype(np.float32))
+        bn.eval()
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        assert np.allclose(bn(x), bn(x))

@@ -1,0 +1,53 @@
+"""Tests for checkpoint save/load."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+
+
+class TestCheckpointRoundtrip:
+    def test_simple_roundtrip(self, tmp_path):
+        net = nn.Sequential(nn.Linear(4, 3, rng=0), nn.ReLU(),
+                            nn.Linear(3, 2, rng=1))
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_checkpoint(net, path)
+        other = nn.Sequential(nn.Linear(4, 3, rng=9), nn.ReLU(),
+                              nn.Linear(3, 2, rng=8))
+        nn.load_checkpoint(other, path)
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        assert np.allclose(net(x), other(x))
+
+    def test_model_with_batchnorm_buffers(self, tmp_path):
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        x = np.random.default_rng(1).normal(size=(4, 1, 16, 16)).astype(np.float32)
+        model(x)
+        path = str(tmp_path / "model.npz")
+        nn.save_checkpoint(model, path)
+        clone = build_model("lenet_slim", image_size=16, rng=99)
+        nn.load_checkpoint(clone, path)
+        model.eval()
+        clone.eval()
+        assert np.allclose(model(x), clone(x), atol=1e-5)
+
+    def test_creates_directories(self, tmp_path):
+        net = nn.Sequential(nn.Linear(2, 2, rng=0))
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        nn.save_checkpoint(net, path)
+        assert os.path.exists(path)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        net = nn.Sequential(nn.Linear(2, 2, rng=0))
+        with pytest.raises(FileNotFoundError):
+            nn.load_checkpoint(net, str(tmp_path / "missing.npz"))
+
+    def test_load_wrong_architecture_raises(self, tmp_path):
+        net = nn.Sequential(nn.Linear(2, 2, rng=0))
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_checkpoint(net, path)
+        other = nn.Sequential(nn.Linear(3, 3, rng=0))
+        with pytest.raises((KeyError, ValueError)):
+            nn.load_checkpoint(other, path)

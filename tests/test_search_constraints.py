@@ -1,0 +1,97 @@
+"""Tests for constraint-aware search aims."""
+
+import pytest
+
+from repro.bayes.evaluate import AlgorithmicReport
+from repro.search import ACCURACY_OPTIMAL, get_aim
+from repro.search.constraints import (
+    ConstrainedAim,
+    PENALTY_SLOPE,
+    with_latency_budget,
+)
+
+
+def report(acc=0.9, ece=0.05, ape=0.8):
+    return AlgorithmicReport(accuracy=acc, ece=ece, ape=ape, nll=0.4,
+                             brier=0.2, num_mc_samples=3)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError, match="bound"):
+            ConstrainedAim(base=ACCURACY_OPTIMAL)
+
+    def test_invalid_latency_budget(self):
+        with pytest.raises(ValueError):
+            ConstrainedAim(base=ACCURACY_OPTIMAL, max_latency_ms=0.0)
+
+    def test_name_mentions_bounds(self):
+        aim = ConstrainedAim(base=ACCURACY_OPTIMAL, max_latency_ms=5.0,
+                             min_accuracy=0.8)
+        assert "lat<=5.0ms" in aim.name
+        assert "acc>=0.8" in aim.name
+
+
+class TestFeasibility:
+    def test_feasible_scores_like_base(self):
+        aim = with_latency_budget(ACCURACY_OPTIMAL, 10.0)
+        r = report()
+        assert aim.score(r, 5.0) == pytest.approx(
+            ACCURACY_OPTIMAL.score(r, 5.0))
+        assert aim.is_feasible(r, 5.0)
+
+    def test_latency_violation_penalized(self):
+        aim = with_latency_budget(ACCURACY_OPTIMAL, 10.0)
+        r = report()
+        feasible = aim.score(r, 10.0)
+        infeasible = aim.score(r, 12.0)
+        assert infeasible == pytest.approx(
+            feasible - PENALTY_SLOPE * 2.0)
+        assert not aim.is_feasible(r, 12.0)
+
+    def test_accuracy_floor(self):
+        aim = ConstrainedAim(base=ACCURACY_OPTIMAL, min_accuracy=0.95)
+        assert not aim.is_feasible(report(acc=0.9), 0.0)
+        assert aim.is_feasible(report(acc=0.96), 0.0)
+
+    def test_ece_ceiling(self):
+        aim = ConstrainedAim(base=ACCURACY_OPTIMAL, max_ece=0.02)
+        assert not aim.is_feasible(report(ece=0.05), 0.0)
+        assert aim.is_feasible(report(ece=0.01), 0.0)
+
+    def test_violations_accumulate(self):
+        aim = ConstrainedAim(base=ACCURACY_OPTIMAL, max_latency_ms=1.0,
+                             min_accuracy=1.0)
+        v = aim.violation(report(acc=0.9), 2.0)
+        assert v == pytest.approx(1.0 + 0.1)
+
+
+class TestIntegration:
+    def test_get_aim_passthrough(self):
+        aim = with_latency_budget(ACCURACY_OPTIMAL, 5.0)
+        assert get_aim(aim) is aim
+
+    def test_constrained_search_respects_budget(self, trained_supernet,
+                                                mnist_splits, ood_small):
+        """The EA returns a feasible design when one exists."""
+        from repro.hw import AcceleratorBuilder, AcceleratorConfig
+        from repro.search import (CandidateEvaluator, EvolutionConfig,
+                                  EvolutionarySearch)
+
+        builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+        oracle = builder.latency_oracle(trained_supernet, (1, 16, 16))
+        evaluator = CandidateEvaluator(
+            trained_supernet, mnist_splits.val, ood_small,
+            latency_fn=oracle, num_mc_samples=2)
+        # Budget between the static designs' latency and the dynamic
+        # stall designs': feasible configs exist but not all are.
+        latencies = [evaluator.evaluate(c).latency_ms
+                     for c in [("B",) * 3, ("K", "K", "B")]]
+        budget = (latencies[0] + latencies[1]) / 2.0
+        aim = with_latency_budget(ACCURACY_OPTIMAL, budget)
+        search = EvolutionarySearch(
+            evaluator, aim,
+            config=EvolutionConfig(population_size=10, generations=5),
+            rng=5)
+        best = search.run().best
+        assert best.latency_ms <= budget

@@ -1,0 +1,74 @@
+"""Tests for the memoizing candidate evaluator."""
+
+import pytest
+
+from repro.search import CandidateEvaluator, get_aim
+
+
+class TestCaching:
+    def test_second_evaluation_is_cached(self, trained_supernet,
+                                         mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        a = ev.evaluate(("B", "B", "B"))
+        count = ev.num_evaluations
+        b = ev.evaluate(("B", "B", "B"))
+        assert ev.num_evaluations == count
+        assert a is b
+
+    def test_distinct_configs_counted(self, trained_supernet,
+                                      mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        ev.evaluate(("B", "B", "B"))
+        ev.evaluate(("M", "M", "M"))
+        assert ev.num_evaluations == 2
+        assert len(ev.cache) == 2
+
+    def test_config_normalized_before_cache(self, trained_supernet,
+                                            mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        ev.evaluate(("bernoulli", "b", "B"))
+        ev.evaluate(("B", "B", "B"))
+        assert ev.num_evaluations == 1
+
+
+class TestLatencyIntegration:
+    def test_latency_fn_used(self, trained_supernet, mnist_splits,
+                             ood_small):
+        calls = []
+
+        def fake_latency(config):
+            calls.append(config)
+            return 7.5
+
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, latency_fn=fake_latency,
+                                num_mc_samples=2)
+        result = ev.evaluate(("B", "B", "B"))
+        assert result.latency_ms == 7.5
+        assert calls == [("B", "B", "B")]
+
+    def test_no_latency_fn_gives_zero(self, trained_supernet,
+                                      mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        assert ev.evaluate(("M", "M", "M")).latency_ms == 0.0
+
+
+class TestCandidateResult:
+    def test_as_row_keys(self, trained_supernet, mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        row = ev.evaluate(("B", "M", "B")).as_row()
+        for key in ("config", "latency_ms", "accuracy", "ece", "ape"):
+            assert key in row
+        assert row["config"] == "B-M-B"
+
+    def test_aim_score(self, trained_supernet, mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        result = ev.evaluate(("B", "B", "B"))
+        assert result.aim_score(get_aim("accuracy")) == pytest.approx(
+            result.report.accuracy)

@@ -1,0 +1,105 @@
+"""Tests for the NSGA-II-style multi-objective search."""
+
+import numpy as np
+import pytest
+
+from repro.search import CandidateEvaluator
+from repro.search.evolution import EvolutionConfig
+from repro.search.multiobjective import (
+    MultiObjectiveSearch,
+    _crowding_distance,
+    _non_dominated_sort,
+)
+from repro.search.pareto import dominates, pareto_mask
+
+
+class TestSortingPrimitives:
+    def test_non_dominated_sort_partitions(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0],
+                           [0.5, 2.5]])
+        fronts = _non_dominated_sort(points, ["max", "max"])
+        assert sum(f.size for f in fronts) == 4
+        # First front contains the global maximizer.
+        assert 2 in fronts[0]
+        # Successive fronts are dominated by earlier ones.
+        for later in fronts[1]:
+            assert any(dominates(points[e], points[later], ["max", "max"])
+                       for e in fronts[0])
+
+    def test_single_front_when_all_tradeoffs(self):
+        points = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        fronts = _non_dominated_sort(points, ["max", "max"])
+        assert len(fronts) == 1
+
+    def test_crowding_extremes_infinite(self):
+        points = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0],
+                           [3.0, 0.0]])
+        crowd = _crowding_distance(points)
+        assert np.isinf(crowd[0]) and np.isinf(crowd[3])
+        assert np.isfinite(crowd[1]) and np.isfinite(crowd[2])
+
+    def test_crowding_small_fronts_infinite(self):
+        assert np.isinf(_crowding_distance(np.array([[1.0, 2.0]]))).all()
+
+
+class TestValidation:
+    def test_unknown_metric(self, trained_supernet, mnist_splits,
+                            ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        with pytest.raises(KeyError, match="unknown metrics"):
+            MultiObjectiveSearch(ev, metrics=("accuracy", "flops"))
+
+    def test_needs_two_metrics(self, trained_supernet, mnist_splits,
+                               ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        with pytest.raises(ValueError, match=">= 2"):
+            MultiObjectiveSearch(ev, metrics=("accuracy",))
+
+
+class TestSearchRun:
+    @pytest.fixture(scope="class")
+    def mo_result(self, trained_supernet, mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small,
+                                latency_fn=lambda c: float(len(set(c))),
+                                num_mc_samples=2)
+        search = MultiObjectiveSearch(
+            ev, metrics=("ece", "ape", "accuracy"),
+            config=EvolutionConfig(population_size=12, generations=5),
+            rng=17)
+        return ev, search.run()
+
+    def test_front_nonempty(self, mo_result):
+        _, result = mo_result
+        assert result.front
+
+    def test_front_mutually_non_dominating(self, mo_result):
+        _, result = mo_result
+        points = result.front_points()
+        directions = ["min", "max", "max"]
+        mask = pareto_mask(points, directions)
+        assert mask.all()
+
+    def test_front_configs_unique(self, mo_result):
+        _, result = mo_result
+        configs = [r.config for r in result.front]
+        assert len(configs) == len(set(configs))
+
+    def test_front_covers_multiple_tradeoffs(self, mo_result):
+        """A single run returns more than one trade-off design."""
+        _, result = mo_result
+        assert len(result.front) >= 2
+
+    def test_evaluations_bounded_by_space(self, mo_result):
+        ev, result = mo_result
+        assert result.num_evaluations <= ev.supernet.space.size
+
+    def test_front_contains_accuracy_champion_of_evaluated(self,
+                                                           mo_result):
+        """Among everything evaluated, the best accuracy survives."""
+        ev, result = mo_result
+        best_seen = max(r.report.accuracy for r in ev.cache.values())
+        front_best = max(r.report.accuracy for r in result.front)
+        assert front_best == pytest.approx(best_seen, abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the Eq. (2) scalarized search aim."""
+
+import pytest
+
+from repro.bayes.evaluate import AlgorithmicReport
+from repro.search import (
+    ACCURACY_OPTIMAL,
+    AIM_PRESETS,
+    APE_OPTIMAL,
+    BALANCED,
+    ECE_OPTIMAL,
+    LATENCY_OPTIMAL,
+    SearchAim,
+    get_aim,
+)
+
+
+def report(acc=0.9, ece=0.05, ape=0.8):
+    return AlgorithmicReport(accuracy=acc, ece=ece, ape=ape, nll=0.4,
+                             brier=0.2, num_mc_samples=3)
+
+
+class TestEquationTwo:
+    def test_full_formula(self):
+        aim = SearchAim(eta=2.0, mu=3.0, beta=0.5, lam=0.1, name="t")
+        score = aim.score(report(), latency_ms=10.0)
+        expected = 2.0 * 0.9 - 3.0 * 0.05 + 0.5 * 0.8 - 0.1 * 10.0
+        assert score == pytest.approx(expected)
+
+    def test_ece_enters_negatively(self):
+        aim = ECE_OPTIMAL
+        better = aim.score(report(ece=0.01), 0.0)
+        worse = aim.score(report(ece=0.5), 0.0)
+        assert better > worse
+
+    def test_latency_enters_negatively(self):
+        aim = LATENCY_OPTIMAL
+        assert aim.score(report(), 1.0) > aim.score(report(), 5.0)
+
+    def test_accuracy_positive(self):
+        aim = ACCURACY_OPTIMAL
+        assert aim.score(report(acc=0.95), 0.0) > aim.score(
+            report(acc=0.5), 0.0)
+
+    def test_ape_positive(self):
+        aim = APE_OPTIMAL
+        assert aim.score(report(ape=1.5), 0.0) > aim.score(
+            report(ape=0.5), 0.0)
+
+    def test_score_parts_sum_to_score(self):
+        aim = BALANCED
+        parts = aim.score_parts(report(), 3.0)
+        assert sum(parts.values()) == pytest.approx(aim.score(report(), 3.0))
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            SearchAim()
+
+
+class TestPresets:
+    def test_four_single_metric_presets(self):
+        assert ACCURACY_OPTIMAL.eta == 1.0 and ACCURACY_OPTIMAL.mu == 0.0
+        assert ECE_OPTIMAL.mu == 1.0 and ECE_OPTIMAL.eta == 0.0
+        assert APE_OPTIMAL.beta == 1.0
+        assert LATENCY_OPTIMAL.lam == 1.0
+
+    def test_get_aim_by_name(self):
+        assert get_aim("accuracy") is ACCURACY_OPTIMAL
+        assert get_aim("balanced") is BALANCED
+
+    def test_get_aim_passthrough(self):
+        custom = SearchAim(eta=1.0, name="mine")
+        assert get_aim(custom) is custom
+
+    def test_get_aim_unknown(self):
+        with pytest.raises(KeyError):
+            get_aim("throughput")
+
+    def test_preset_names(self):
+        assert set(AIM_PRESETS) == {"accuracy", "ece", "ape", "latency",
+                                    "balanced"}

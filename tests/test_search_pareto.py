@@ -1,0 +1,87 @@
+"""Tests for Pareto-dominance utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import dominates, is_on_front, pareto_front, pareto_mask
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([2, 2], [1, 1], ["max", "max"])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1], ["max", "max"])
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates([2, 0], [0, 2], ["max", "max"])
+        assert not dominates([0, 2], [2, 0], ["max", "max"])
+
+    def test_min_direction(self):
+        assert dominates([0.1, 5], [0.5, 5], ["min", "max"])
+
+    def test_mixed_directions(self):
+        # a: lower ece (min), higher ape (max) -> dominates.
+        assert dominates([0.01, 0.9], [0.1, 0.5], ["min", "max"])
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            dominates([1], [2], ["up"])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2], ["max"])
+
+
+class TestParetoFront:
+    def test_known_front(self):
+        points = np.array([
+            [1.0, 5.0],   # on front
+            [2.0, 4.0],   # on front
+            [1.5, 4.0],   # dominated by (2, 4)
+            [3.0, 1.0],   # on front
+            [0.5, 0.5],   # dominated
+        ])
+        front, idx = pareto_front(points, ["max", "max"])
+        assert set(idx.tolist()) == {0, 1, 3}
+
+    def test_duplicates_all_kept(self):
+        points = np.array([[1.0, 1.0], [1.0, 1.0]])
+        mask = pareto_mask(points, ["max", "max"])
+        assert mask.tolist() == [True, True]
+
+    def test_single_point(self):
+        mask = pareto_mask(np.array([[3.0, 4.0]]), ["min", "max"])
+        assert mask.tolist() == [True]
+
+    def test_min_only_front(self):
+        points = np.array([[1.0], [2.0], [0.5]])
+        front, idx = pareto_front(points, ["min"])
+        assert idx.tolist() == [2]
+
+    def test_is_on_front(self):
+        points = np.array([[1.0, 5.0], [2.0, 4.0], [3.0, 1.0]])
+        assert is_on_front([2.5, 4.5], points, ["max", "max"])
+        assert not is_on_front([0.5, 0.5], points, ["max", "max"])
+
+    @given(st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)),
+        min_size=2, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_front_invariants_property(self, raw):
+        points = np.array(raw)
+        directions = ["max", "max"]
+        mask = pareto_mask(points, directions)
+        front = points[mask]
+        assert mask.any()  # a finite set always has a non-dominated point
+        # No front point dominates another front point.
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i != j:
+                    assert not dominates(front[i], front[j], directions)
+        # Every dominated point is dominated by some front point.
+        dominated = points[~mask]
+        for p in dominated:
+            assert any(dominates(f, p, directions) for f in front)

@@ -1,0 +1,124 @@
+"""Tests for the layer-wise dropout search space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import build_model
+from repro.search import (
+    SearchSpace,
+    SlotSpec,
+    config_from_string,
+    config_to_string,
+)
+
+
+def lenet_space():
+    return SearchSpace([
+        SlotSpec("conv1", "conv", ("B", "R", "K", "M")),
+        SlotSpec("conv2", "conv", ("B", "R", "K", "M")),
+        SlotSpec("fc", "fc", ("B", "M")),
+    ])
+
+
+class TestConstruction:
+    def test_size_is_product(self):
+        assert lenet_space().size == 4 * 4 * 2
+
+    def test_num_slots(self):
+        assert lenet_space().num_slots == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace([SlotSpec("a", "conv", ("B",)),
+                         SlotSpec("a", "conv", ("M",))])
+
+    def test_slot_without_choices_raises(self):
+        with pytest.raises(ValueError):
+            SlotSpec("a", "conv", ())
+
+    def test_from_model_matches_paper_spec(self):
+        space = SearchSpace.from_model(build_model("lenet", rng=0))
+        assert space.size == 32
+        assert [s.name for s in space.slots] == ["conv1", "conv2", "fc"]
+
+
+class TestValidation:
+    def test_valid_config(self):
+        space = lenet_space()
+        assert space.validate(("B", "K", "M")) == ("B", "K", "M")
+
+    def test_normalizes_names(self):
+        space = lenet_space()
+        assert space.validate(("bernoulli", "block", "m")) == ("B", "K", "M")
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError, match="genes"):
+            lenet_space().validate(("B", "B"))
+
+    def test_inadmissible_gene_raises(self):
+        with pytest.raises(ValueError, match="not admissible"):
+            lenet_space().validate(("B", "B", "K"))
+
+    def test_contains(self):
+        space = lenet_space()
+        assert ("B", "B", "B") in space
+        assert ("B", "B", "K") not in space
+
+
+class TestGeneration:
+    def test_enumerate_covers_space(self):
+        space = lenet_space()
+        configs = list(space.enumerate())
+        assert len(configs) == space.size
+        assert len(set(configs)) == space.size
+
+    def test_sample_in_space(self):
+        space = lenet_space()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert space.sample(rng) in space
+
+    def test_sample_roughly_uniform(self):
+        space = SearchSpace([SlotSpec("a", "conv", ("B", "M"))])
+        rng = np.random.default_rng(1)
+        picks = [space.sample(rng)[0] for _ in range(400)]
+        frac_b = picks.count("B") / 400
+        assert frac_b == pytest.approx(0.5, abs=0.08)
+
+    def test_uniform_configs_intersection(self):
+        # LeNet: only B and M are admissible in every slot.
+        uniforms = lenet_space().uniform_configs()
+        assert uniforms == [("B", "B", "B"), ("M", "M", "M")]
+
+    def test_is_hybrid(self):
+        space = lenet_space()
+        assert space.is_hybrid(("B", "K", "M"))
+        assert not space.is_hybrid(("B", "B", "B"))
+
+
+class TestConfigStrings:
+    def test_to_string(self):
+        assert config_to_string(("B", "K", "M")) == "B-K-M"
+
+    def test_from_string(self):
+        assert config_from_string("B-K-M") == ("B", "K", "M")
+
+    def test_from_string_names(self):
+        assert config_from_string("bernoulli-masksembles") == ("B", "M")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            config_from_string("")
+
+    @given(st.lists(st.sampled_from(["B", "R", "K", "M"]),
+                    min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, genes):
+        config = tuple(genes)
+        assert config_from_string(config_to_string(config)) == config

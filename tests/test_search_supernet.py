@@ -1,0 +1,75 @@
+"""Tests for the weight-sharing supernet."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.search import Supernet
+
+
+class TestConstruction:
+    def test_space_derived(self, fresh_supernet):
+        assert fresh_supernet.space.size == 32
+
+    def test_banks_built(self, fresh_supernet):
+        for slot in fresh_supernet.slots:
+            assert set(slot.bank) == set(slot.choices)
+
+    def test_model_without_slots_raises(self):
+        from repro import nn
+        plain = nn.Sequential(nn.Linear(4, 2, rng=0))
+        with pytest.raises(ValueError, match="DropoutSlot"):
+            Supernet(plain)
+
+
+class TestPathSelection:
+    def test_set_config_activates_slots(self, fresh_supernet):
+        fresh_supernet.set_config(("B", "K", "M"))
+        assert [s.active_code for s in fresh_supernet.slots] == ["B", "K", "M"]
+        assert fresh_supernet.active_config == ("B", "K", "M")
+
+    def test_invalid_config_rejected(self, fresh_supernet):
+        with pytest.raises(ValueError):
+            fresh_supernet.set_config(("K", "K", "K"))  # K illegal at fc
+
+    def test_sample_config_activates(self, fresh_supernet):
+        config = fresh_supernet.sample_config(rng=0)
+        assert fresh_supernet.active_config == config
+
+    def test_forward_requires_config(self, fresh_supernet):
+        x = np.zeros((1, 1, 16, 16), dtype=np.float32)
+        with pytest.raises(RuntimeError, match="active configuration"):
+            fresh_supernet(x)
+
+    def test_forward_after_config(self, fresh_supernet):
+        fresh_supernet.set_config(("B", "B", "B"))
+        x = np.zeros((2, 1, 16, 16), dtype=np.float32)
+        assert fresh_supernet(x).shape == (2, 10)
+
+
+class TestWeightSharing:
+    def test_backbone_weights_shared_across_paths(self, fresh_supernet):
+        fresh_supernet.set_config(("B", "B", "B"))
+        w_before = fresh_supernet.model.conv1.weight
+        fresh_supernet.set_config(("M", "M", "M"))
+        assert fresh_supernet.model.conv1.weight is w_before
+
+    def test_path_switch_changes_stochastic_behaviour(self, fresh_supernet):
+        x = np.random.default_rng(0).normal(
+            size=(2, 1, 16, 16)).astype(np.float32)
+        fresh_supernet.eval()
+        fresh_supernet.set_config(("M", "M", "M"))
+        a = fresh_supernet(x)
+        b = fresh_supernet(x)
+        # Masksembles is static: same sample index, same output.
+        assert np.allclose(a, b)
+        fresh_supernet.set_config(("B", "B", "B"))
+        c = fresh_supernet(x)
+        d = fresh_supernet(x)
+        assert not np.allclose(c, d)
+
+    def test_num_parameters_independent_of_path(self, fresh_supernet):
+        fresh_supernet.set_config(("B", "B", "B"))
+        n1 = fresh_supernet.num_parameters()
+        fresh_supernet.set_config(("K", "R", "M"))
+        assert fresh_supernet.num_parameters() == n1

@@ -1,0 +1,84 @@
+"""Tests for supernet / standalone training loops."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.search import (
+    Supernet,
+    TrainConfig,
+    train_standalone,
+    train_supernet,
+)
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        cfg = TrainConfig()
+        assert cfg.epochs > 0
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            TrainConfig(lr=-1.0)
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError, match="optimizer"):
+            TrainConfig(optimizer="lamb")
+
+
+class TestTrainSupernet:
+    def test_loss_decreases(self, mnist_splits):
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        net = Supernet(model, p=0.15, scale=1.7, rng=1)
+        log = train_supernet(net, mnist_splits.train,
+                             TrainConfig(epochs=6), rng=2)
+        assert log.epoch_losses[-1] < log.epoch_losses[0]
+
+    def test_log_counts_steps(self, mnist_splits):
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        net = Supernet(model, rng=1)
+        cfg = TrainConfig(epochs=2, batch_size=32)
+        log = train_supernet(net, mnist_splits.train, cfg, rng=2)
+        steps_per_epoch = (len(mnist_splits.train) + 31) // 32
+        assert log.steps == 2 * steps_per_epoch
+        assert len(log.epoch_losses) == 2
+        assert log.wall_seconds > 0
+
+    def test_deterministic_with_seed(self, mnist_splits):
+        def run():
+            model = build_model("lenet_slim", image_size=16, rng=0)
+            net = Supernet(model, rng=1)
+            log = train_supernet(net, mnist_splits.train,
+                                 TrainConfig(epochs=2), rng=3)
+            return log.epoch_losses
+        assert run() == pytest.approx(run())
+
+    def test_sgd_option(self, mnist_splits):
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        net = Supernet(model, rng=1)
+        log = train_supernet(net, mnist_splits.train,
+                             TrainConfig(epochs=1, optimizer="sgd",
+                                         lr=0.01), rng=2)
+        assert len(log.epoch_losses) == 1
+
+
+class TestTrainStandalone:
+    def test_loss_decreases(self, mnist_splits):
+        model = build_model("lenet_slim", image_size=16, rng=5)
+        log = train_standalone(model, mnist_splits.train,
+                               TrainConfig(epochs=6), rng=6)
+        assert log.epoch_losses[-1] < log.epoch_losses[0]
+
+    def test_trains_model_with_fixed_dropout(self, mnist_splits):
+        from repro.dropout import make_dropout
+        from repro.models import collect_slots
+        model = build_model("lenet_slim", image_size=16, rng=7)
+        for slot in collect_slots(model):
+            slot.set_design(make_dropout(slot.choices[0], p=0.1, rng=8))
+        log = train_standalone(model, mnist_splits.train,
+                               TrainConfig(epochs=3), rng=9)
+        assert log.epoch_losses[-1] < log.epoch_losses[0]

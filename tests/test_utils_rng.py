@@ -1,0 +1,68 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rng, derive_seed, new_rng, spawn_rngs
+
+
+class TestNewRng:
+    def test_integer_seed_is_deterministic(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        assert not np.array_equal(new_rng(1).random(5), new_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert new_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestChildAndSpawn:
+    def test_child_streams_are_independent(self):
+        root = new_rng(0)
+        a = child_rng(root)
+        b = child_rng(root)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(3, 3)]
+        b = [g.random() for g in spawn_rngs(3, 3)]
+        assert a == b
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+
+    def test_base_seed_changes_seed(self):
+        assert derive_seed(1, 2) != derive_seed(2, 2)
+
+    def test_none_seed_allowed(self):
+        assert derive_seed(None, 5) == derive_seed(None, 5)
+
+    def test_result_in_range(self):
+        for salt in range(20):
+            value = derive_seed(123, salt)
+            assert 0 <= value < 2**63 - 1
+
+    def test_large_values_no_error(self):
+        assert derive_seed(2**62, 2**61) >= 0
