@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Batch sweep: ``run_experiments`` over multiple specs and seeds.
+
+Demonstrates the ``repro.api`` batch entry point: a base spec is fanned
+out across seeds (and a second model variant), executed in one call,
+and summarized as a table.  With ``--store`` the sweep persists every
+run's artifacts and becomes resumable — re-running the script skips
+all completed work.
+
+Usage::
+
+    python examples/batch_sweep.py [--seeds 3] [--store runs/]
+"""
+
+import argparse
+
+from repro.api import (
+    EvolutionSpec,
+    ExperimentSpec,
+    SearchSpec,
+    TrainSpec,
+    run_experiments,
+)
+
+
+def build_specs(num_seeds: int) -> list:
+    """The sweep: one spec per (model, seed) cell."""
+    base = ExperimentSpec(
+        model="lenet_slim",
+        dataset="mnist_like",
+        image_size=16,
+        dataset_size=400,
+        ood_size=80,
+        train=TrainSpec(epochs=4),
+        search=SearchSpec(
+            aims=("accuracy", "latency"),
+            evolution=EvolutionSpec(population_size=6, generations=3)),
+    )
+    return [
+        base.with_updates(name=f"sweep-{model}-s{seed}", model=model,
+                          seed=seed)
+        for model in ("lenet_slim",)
+        for seed in range(num_seeds)
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="number of seeds to sweep (default: 2)")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store root; enables resume")
+    args = parser.parse_args()
+
+    specs = build_specs(args.seeds)
+    print(f"sweeping {len(specs)} experiments "
+          f"({'persisted to ' + args.store if args.store else 'in memory'})")
+    results = run_experiments(specs, store_root=args.store)
+
+    header = (f"{'experiment':<22} {'aim':<18} {'config':<10} "
+              f"{'acc%':>6} {'ECE%':>6} {'aPE':>6} {'lat ms':>8}")
+    print("\n" + header)
+    print("-" * len(header))
+    for result in results:
+        resumed = " (resumed)" if result.resumed else ""
+        for row in result.summary():
+            print(f"{result.spec.name:<22} {row['aim']:<18} "
+                  f"{row['config']:<10} {row['accuracy_pct']:>6.1f} "
+                  f"{row['ece_pct']:>6.2f} {row['ape_nats']:>6.3f} "
+                  f"{row['latency_ms']:>8.3f}{resumed}")
+
+    # Seed-to-seed agreement of the searched winner per aim.
+    for aim in ("Accuracy Optimal", "Latency Optimal"):
+        configs = {r.search_results[aim].best.config_string
+                   for r in results}
+        print(f"\n{aim}: {len(configs)} distinct winner(s) "
+              f"across {len(results)} runs: {sorted(configs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,51 +2,62 @@
 """Quickstart: the full four-phase dropout search flow in one minute.
 
 Runs the paper's pipeline at CI scale — a slim LeNet on a synthetic
-MNIST-like task — and prints the searched configuration per aim plus
-the csynth-style report of the accuracy-optimal accelerator.
+MNIST-like task — through the declarative ``repro.api`` experiment
+layer, and prints the searched configuration per aim plus the
+csynth-style report of the accuracy-optimal accelerator.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro.flow import DropoutSearchFlow, FlowSpec
-from repro.search import EvolutionConfig, TrainConfig
+from repro.api import (
+    EvolutionSpec,
+    ExperimentSpec,
+    GenerateSpec,
+    Runner,
+    SearchSpec,
+    SpecifyStage,
+    TrainSpec,
+)
+from repro.search.space import config_to_string
 
 
 def main() -> None:
-    spec = FlowSpec(
+    spec = ExperimentSpec(
+        name="quickstart",
         model="lenet_slim",
         dataset="mnist_like",
         image_size=16,
         dataset_size=800,
         seed=7,
+        train=TrainSpec(epochs=20),
+        search=SearchSpec(
+            aims=("accuracy", "ece", "ape", "latency"),
+            evolution=EvolutionSpec(population_size=10, generations=5)),
+        generate=GenerateSpec(aim="accuracy"),
     )
-    flow = DropoutSearchFlow(spec)
+    runner = Runner(spec)  # in-memory; pass store_root="runs" to persist
 
     # Phase 1 — Specification: network, datasets, dropout slots.
-    space = flow.specify()
+    space = SpecifyStage().execute(runner.ctx)
     print(f"Phase 1  search space: {space}")
 
-    # Phase 2 — One-shot SPOS supernet training.
-    log = flow.train(TrainConfig(epochs=20))
+    # Phases 2-4 — training, per-aim search, accelerator generation.
+    result = runner.run()
+    log = result.train_log
     print(f"Phase 2  supernet trained in {log.wall_seconds:.1f}s "
           f"(final loss {log.epoch_losses[-1]:.3f})")
 
-    # Phase 3 — Evolutionary search, one run per aim (paper Table 1).
-    evolution = EvolutionConfig(population_size=10, generations=5)
-    for aim in ("accuracy", "ece", "ape", "latency"):
-        result = flow.search(aim, evolution=evolution)
-        best = result.best
-        print(f"Phase 3  {aim:>8} optimal: {best.config_string:<8} "
-              f"acc={best.report.accuracy_percent:5.1f}%  "
-              f"ECE={best.report.ece_percent:5.2f}%  "
-              f"aPE={best.report.ape:5.3f} nats  "
-              f"lat={best.latency_ms:6.3f} ms")
+    for row in result.summary():
+        print(f"Phase 3  {row['aim']:>16}: {row['config']:<8} "
+              f"acc={row['accuracy_pct']:5.1f}%  "
+              f"ECE={row['ece_pct']:5.2f}%  "
+              f"aPE={row['ape_nats']:5.3f} nats  "
+              f"lat={row['latency_ms']:6.3f} ms")
 
-    # Phase 4 — Accelerator generation for the accuracy-optimal config.
-    winner = flow.state.search_results["Accuracy Optimal"].best_config
-    design, _ = flow.generate(winner)
+    winner = result.best("accuracy").best_config
+    design = result.designs[config_to_string(winner)]
     print("\nPhase 4  synthesis report")
     print(design.report.render())
 

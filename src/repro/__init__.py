@@ -24,11 +24,15 @@ Subpackages
 ``repro.hw``
     FPGA performance/resource/power simulator, fixed-point arithmetic,
     GP latency cost model, HLS code generation, platform baselines.
+``repro.api``
+    The experiment layer: declarative ``ExperimentSpec``, the
+    stage-based resumable pipeline over an ``ArtifactStore``, and the
+    ``Runner`` / ``run_experiments`` facade.  Start here.
 ``repro.flow``
-    The four-phase pipeline: Specification -> Training -> Search ->
-    Accelerator Generation.
+    Deprecated stateful facade over ``repro.api`` (kept for backward
+    compatibility).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

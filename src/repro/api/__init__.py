@@ -1,0 +1,83 @@
+"""``repro.api`` — the composable experiment layer.
+
+The official way to drive the four-phase dropout-search system:
+
+* :class:`ExperimentSpec` — declarative, JSON-round-trippable
+  description of an experiment (model, dataset, aims, training and
+  accelerator knobs) with strict validation and a versioned schema;
+* :class:`ArtifactStore` — on-disk JSON/npz persistence keyed by the
+  spec fingerprint, making every run resumable and machine-readable;
+* :class:`Pipeline` and the four stages — the paper's phases as
+  composable, individually resumable units over a shared
+  :class:`PipelineContext`;
+* :class:`Runner` / :func:`run_experiments` — one-call execution of a
+  spec (multi-aim batch search shares the trained supernet and the
+  memoized evaluator) or a sweep of specs.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, Runner
+
+    spec = ExperimentSpec(model="lenet_slim", dataset="mnist_like",
+                          image_size=16, seed=7)
+    result = Runner(spec, store_root="runs").run()
+    for row in result.summary():
+        print(row)
+
+The legacy :class:`repro.flow.DropoutSearchFlow` remains as a thin
+deprecated shim over these stages.
+"""
+
+from repro.api.artifacts import ARTIFACT_VERSION, ArtifactError, ArtifactStore
+from repro.api.pipeline import Pipeline
+from repro.api.runner import (
+    ExperimentResult,
+    Runner,
+    run_experiment,
+    run_experiments,
+)
+from repro.api.spec import (
+    SCHEMA_VERSION,
+    AcceleratorSpec,
+    EvolutionSpec,
+    ExperimentSpec,
+    GenerateSpec,
+    SearchSpec,
+    SpecError,
+    TrainSpec,
+)
+from repro.api.stages import (
+    GenerateStage,
+    PipelineContext,
+    SearchStage,
+    SpecifyStage,
+    Stage,
+    TrainStage,
+    build_design,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "SCHEMA_VERSION",
+    "AcceleratorSpec",
+    "ArtifactError",
+    "ArtifactStore",
+    "EvolutionSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "GenerateSpec",
+    "GenerateStage",
+    "Pipeline",
+    "PipelineContext",
+    "Runner",
+    "SearchSpec",
+    "SearchStage",
+    "SpecError",
+    "SpecifyStage",
+    "Stage",
+    "TrainSpec",
+    "TrainStage",
+    "build_design",
+    "run_experiment",
+    "run_experiments",
+]

@@ -1,0 +1,168 @@
+"""On-disk artifact persistence for experiment runs.
+
+The :class:`ArtifactStore` is the single channel through which pipeline
+stages persist their outputs: JSON documents for machine-readable
+records (train logs, search results, synthesis reports) and ``.npz``
+containers for array state (trained supernet weights).  Every write is
+atomic (temp file + rename) so a killed run never leaves a torn
+artifact behind, and every JSON document carries a small envelope with
+the artifact schema version for forward compatibility.
+
+Stores nest: ``store.subdir(run_id)`` scopes one experiment's
+artifacts under its own directory, which is how
+:class:`repro.api.runner.Runner` keys resumable runs on the spec
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List
+
+import numpy as np
+
+#: Version stamped into every JSON artifact envelope.
+ARTIFACT_VERSION = 1
+
+_JSON_SUFFIX = ".json"
+_STATE_SUFFIX = ".npz"
+
+
+class ArtifactError(RuntimeError):
+    """Raised on malformed or missing artifacts."""
+
+
+def _check_name(name: str) -> str:
+    if (not name or os.sep in name or (os.altsep and os.altsep in name)
+            or name.startswith(".")):
+        raise ValueError(f"invalid artifact name {name!r}")
+    return name
+
+
+class ArtifactStore:
+    """A directory of named JSON and array artifacts.
+
+    Args:
+        root: directory holding the artifacts; created lazily on the
+            first write so read-only probing never touches the disk.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({self.root!r})"
+
+    def subdir(self, name: str) -> "ArtifactStore":
+        """A nested store under ``root/name``."""
+        return ArtifactStore(os.path.join(self.root, _check_name(name)))
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path(self, filename: str) -> str:
+        """Absolute path of ``filename`` inside the store."""
+        return os.path.join(self.root, _check_name(filename))
+
+    def _ensure_root(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+
+    def _atomic_write_bytes(self, path: str, payload: bytes) -> None:
+        self._ensure_root()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # JSON artifacts
+    # ------------------------------------------------------------------
+    def has(self, name: str) -> bool:
+        """True if JSON artifact ``name`` exists."""
+        return os.path.exists(self.path(name + _JSON_SUFFIX))
+
+    def save_json(self, name: str, payload: Any) -> str:
+        """Atomically persist ``payload`` as JSON artifact ``name``.
+
+        Returns the path written.  The payload is wrapped in an
+        ``{"artifact_version", "name", "payload"}`` envelope.
+        """
+        document = {
+            "artifact_version": ARTIFACT_VERSION,
+            "name": _check_name(name),
+            "payload": payload,
+        }
+        text = json.dumps(document, indent=2, sort_keys=True)
+        path = self.path(name + _JSON_SUFFIX)
+        self._atomic_write_bytes(path, (text + "\n").encode("utf-8"))
+        return path
+
+    def load_json(self, name: str) -> Any:
+        """Load and unwrap JSON artifact ``name``."""
+        path = self.path(name + _JSON_SUFFIX)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except FileNotFoundError:
+            raise ArtifactError(f"artifact {name!r} not found in "
+                                f"{self.root}") from None
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"artifact {name!r} is corrupt: "
+                                f"{exc}") from exc
+        if (not isinstance(document, dict)
+                or "payload" not in document
+                or document.get("artifact_version") != ARTIFACT_VERSION):
+            raise ArtifactError(
+                f"artifact {name!r} has an unsupported envelope")
+        return document["payload"]
+
+    def list_artifacts(self) -> List[str]:
+        """Names of all JSON artifacts in the store, sorted."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry[:-len(_JSON_SUFFIX)] for entry in os.listdir(self.root)
+            if entry.endswith(_JSON_SUFFIX))
+
+    # ------------------------------------------------------------------
+    # Array-state artifacts (npz)
+    # ------------------------------------------------------------------
+    def has_state(self, name: str) -> bool:
+        """True if array artifact ``name`` exists."""
+        return os.path.exists(self.path(name + _STATE_SUFFIX))
+
+    def save_state(self, name: str, state: Dict[str, np.ndarray]) -> str:
+        """Persist a ``state_dict``-style mapping of arrays."""
+        self._ensure_root()
+        path = self.path(name + _STATE_SUFFIX)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        os.close(fd)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **state)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load_state(self, name: str) -> Dict[str, np.ndarray]:
+        """Load an array mapping saved by :meth:`save_state`."""
+        path = self.path(name + _STATE_SUFFIX)
+        try:
+            with np.load(path) as data:
+                return {key: data[key] for key in data.files}
+        except FileNotFoundError:
+            raise ArtifactError(f"state artifact {name!r} not found in "
+                                f"{self.root}") from None
+
+
+__all__ = ["ARTIFACT_VERSION", "ArtifactError", "ArtifactStore"]

@@ -1,0 +1,50 @@
+"""Stage composition: an ordered, resumable experiment pipeline."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.api.stages import (
+    DEFAULT_STAGES,
+    PipelineContext,
+    Stage,
+)
+
+
+class Pipeline:
+    """An ordered sequence of stages driven over one context.
+
+    Args:
+        stages: stage instances in execution order; defaults to the
+            paper's four phases (specify, train, search, generate).
+
+    Each stage's ``execute`` prefers persisted artifacts when the
+    context carries a store, so re-running a pipeline over the same
+    run directory resumes instead of recomputing.
+    """
+
+    def __init__(self, stages: Optional[Sequence[Stage]] = None) -> None:
+        self.stages: List[Stage] = (
+            list(stages) if stages is not None
+            else [cls() for cls in DEFAULT_STAGES])
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+
+    @classmethod
+    def default(cls) -> "Pipeline":
+        """The canonical four-phase pipeline."""
+        return cls()
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Execute every stage in order; returns the populated context."""
+        for stage in self.stages:
+            stage.execute(ctx)
+        return ctx
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(stage.name for stage in self.stages)
+        return f"Pipeline({inner})"
+
+
+__all__ = ["Pipeline"]

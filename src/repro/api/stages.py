@@ -1,0 +1,444 @@
+"""Pipeline stages: the paper's four phases as composable units.
+
+Each stage is a small object with a ``name``, typed inputs/outputs
+documented on ``run``, and a uniform ``execute(ctx)`` entry point that
+first tries to *resume* from persisted artifacts (when the context
+carries an :class:`~repro.api.artifacts.ArtifactStore`) and only then
+computes.  All runtime state lives in the :class:`PipelineContext`; the
+stages themselves are stateless and reusable across runs.
+
+Artifact layout of a run directory::
+
+    spec.json                  # the experiment spec (Runner writes it)
+    specify.json               # search space + dataset record
+    train_log.json             # TrainLog round-trip
+    supernet_weights.npz       # trained shared weights
+    search_<aim>.json          # SearchResult round-trip + wall seconds
+    evaluations.json           # memoized evaluator cache dump
+    design_<config>.json       # SynthesisReport.to_dict + emitted files
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.spec import ExperimentSpec
+from repro.bayes.evaluate import AlgorithmicReport
+from repro.data import (
+    DataSplits,
+    Dataset,
+    gaussian_noise_like,
+    make_dataset,
+    split_dataset,
+)
+from repro.hw.accelerator import (
+    AcceleratorBuilder,
+    AcceleratorDesign,
+)
+from repro.hw.codegen import EmittedProject, emit_hls_project
+from repro.hw.cost_model import GPLatencyModel
+from repro.hw.netlist import trace_network
+from repro.hw.perf import AcceleratorConfig
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.search import (
+    CandidateEvaluator,
+    CandidateResult,
+    EvolutionConfig,
+    EvolutionarySearch,
+    SearchResult,
+    SearchSpace,
+    Supernet,
+    TrainConfig,
+    TrainLog,
+    get_aim,
+    train_supernet,
+)
+from repro.search.space import (
+    DropoutConfig,
+    config_from_string,
+    config_to_string,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.timers import Timer
+
+
+def _aim_slug(aim_name: str) -> str:
+    """Filesystem-safe slug of an aim display name."""
+    return "".join(c if c.isalnum() else "_" for c in aim_name.lower())
+
+
+@dataclass
+class PipelineContext:
+    """All runtime state shared by the stages of one experiment run.
+
+    Field names intentionally match the legacy ``FlowState`` so the
+    deprecated :class:`repro.flow.DropoutSearchFlow` shim can expose the
+    context directly as its ``state``.
+    """
+
+    #: Defaults keep the legacy no-argument ``FlowState()`` constructor
+    #: (now an alias of this class) working.
+    spec: ExperimentSpec = field(default_factory=ExperimentSpec)
+    store: Optional[ArtifactStore] = None
+    #: Explicit accelerator-config override (legacy flow path); when
+    #: None the spec's accelerator section (or preset) is resolved.
+    accel_override: Optional[AcceleratorConfig] = None
+
+    dataset: Optional[Dataset] = None
+    splits: Optional[DataSplits] = None
+    ood: Optional[Dataset] = None
+    model: Optional[Module] = None
+    supernet: Optional[Supernet] = None
+    space: Optional[SearchSpace] = None
+    train_log: Optional[TrainLog] = None
+    cost_model: Optional[GPLatencyModel] = None
+    evaluator: Optional[CandidateEvaluator] = None
+    search_results: Dict[str, SearchResult] = field(default_factory=dict)
+    search_seconds: Dict[str, float] = field(default_factory=dict)
+    designs: Dict[str, AcceleratorDesign] = field(default_factory=dict)
+    projects: Dict[str, EmittedProject] = field(default_factory=dict)
+    #: Stage records restored from the artifact store instead of
+    #: computed, e.g. ``{"train", "search:Accuracy Optimal"}``.
+    resumed: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.accel_config: AcceleratorConfig = (
+            self.accel_override or self.spec.accelerator_config())
+        self.builder = AcceleratorBuilder(self.accel_config)
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Per-image input shape of the specified dataset."""
+        if self.dataset is None:
+            raise RuntimeError("run the specify stage first")
+        return self.dataset.image_shape
+
+
+# ----------------------------------------------------------------------
+# Context helpers shared by stages and the legacy flow shim
+# ----------------------------------------------------------------------
+def ensure_cost_model(ctx: PipelineContext) -> GPLatencyModel:
+    """Build (once) the GP latency model over the traced netlist."""
+    if ctx.cost_model is None:
+        netlist = trace_network(ctx.supernet.model, ctx.input_shape)
+        ctx.cost_model = GPLatencyModel(
+            netlist, ctx.accel_config,
+            rng=derive_seed(ctx.spec.seed, 7))
+    return ctx.cost_model
+
+
+def ensure_evaluator(ctx: PipelineContext,
+                     use_gp_cost_model: bool) -> CandidateEvaluator:
+    """Build (once) the memoizing candidate evaluator.
+
+    When the context has a store with a persisted evaluation cache, the
+    cache is preloaded so resumed runs skip re-evaluating candidates.
+    """
+    if ctx.evaluator is None:
+        if use_gp_cost_model:
+            latency_fn = ensure_cost_model(ctx)
+        else:
+            latency_fn = ctx.builder.latency_oracle(
+                ctx.supernet, ctx.input_shape)
+        ctx.evaluator = CandidateEvaluator(
+            ctx.supernet, ctx.splits.val, ctx.ood,
+            latency_fn=latency_fn,
+            num_mc_samples=ctx.spec.mc_samples)
+        if ctx.store is not None and ctx.store.has(SearchStage.CACHE):
+            cached = [CandidateResult.from_dict(entry)
+                      for entry in ctx.store.load_json(SearchStage.CACHE)]
+            ctx.evaluator.preload(cached)
+    return ctx.evaluator
+
+
+def build_design(ctx: PipelineContext, config: DropoutConfig, *,
+                 outdir: Optional[str] = None,
+                 project_name: str = "accelerator"
+                 ) -> Tuple[AcceleratorDesign, Optional[EmittedProject]]:
+    """Characterize ``config`` and optionally emit its HLS project."""
+    if ctx.supernet is None:
+        raise RuntimeError("run the specify stage first")
+    design = ctx.builder.build_for_config(
+        ctx.supernet, ctx.input_shape, tuple(config), name=ctx.spec.model)
+    project = None
+    if outdir is not None:
+        project = emit_hls_project(design, outdir,
+                                   model=ctx.supernet.model,
+                                   project_name=project_name)
+    return design, project
+
+
+class Stage:
+    """Base class: resume from artifacts if possible, else compute."""
+
+    #: Stage name (stable; used in ``ctx.resumed`` records).
+    name: str = "stage"
+
+    def execute(self, ctx: PipelineContext):
+        """Run the stage, preferring persisted artifacts."""
+        if ctx.store is not None and self.resume(ctx):
+            return self.result(ctx)
+        out = self.run(ctx)
+        if ctx.store is not None:
+            self.persist(ctx)
+        return out
+
+    # Subclass hooks -----------------------------------------------------
+    def resume(self, ctx: PipelineContext) -> bool:
+        """Restore state from the store; True when fully restored."""
+        return False
+
+    def run(self, ctx: PipelineContext):
+        """Compute the stage outputs into ``ctx``."""
+        raise NotImplementedError
+
+    def persist(self, ctx: PipelineContext) -> None:
+        """Write this stage's artifacts through ``ctx.store``."""
+
+    def result(self, ctx: PipelineContext):
+        """The stage's return value, read back from ``ctx``."""
+        return None
+
+
+class SpecifyStage(Stage):
+    """Phase 1 — data, model, supernet and the dropout search space.
+
+    Inputs: ``ctx.spec`` only.  Outputs: ``dataset``, ``splits``,
+    ``ood``, ``model``, ``supernet``, ``space``.  Construction is
+    deterministic in ``spec.seed``, so this stage always recomputes its
+    live objects and persists a descriptive record rather than state.
+    """
+
+    name = "specify"
+    ARTIFACT = "specify"
+
+    def run(self, ctx: PipelineContext) -> SearchSpace:
+        if ctx.supernet is not None:
+            return ctx.space
+        spec = ctx.spec
+        dataset = make_dataset(spec.dataset, spec.dataset_size,
+                               image_size=spec.image_size,
+                               rng=derive_seed(spec.seed, 1)).normalized()
+        splits = split_dataset(dataset, rng=derive_seed(spec.seed, 2))
+        ood = gaussian_noise_like(splits.train, spec.ood_size,
+                                  rng=derive_seed(spec.seed, 3))
+        in_channels, height, _ = dataset.image_shape
+        model = build_model(spec.model, in_channels=in_channels,
+                            image_size=height,
+                            rng=derive_seed(spec.seed, 4))
+        supernet = Supernet(
+            model, p=spec.dropout_p, num_masks=spec.num_masks,
+            scale=spec.masksembles_scale, block_size=spec.block_size,
+            rng=derive_seed(spec.seed, 5))
+        ctx.dataset = dataset
+        ctx.splits = splits
+        ctx.ood = ood
+        ctx.model = model
+        ctx.supernet = supernet
+        ctx.space = supernet.space
+        return supernet.space
+
+    def persist(self, ctx: PipelineContext) -> None:
+        ctx.store.save_json(self.ARTIFACT, {
+            "input_shape": list(ctx.input_shape),
+            "dataset": ctx.spec.dataset,
+            "dataset_size": len(ctx.dataset.images),
+            "space_size": ctx.space.size,
+            "slots": [
+                {"name": s.name, "placement": s.placement,
+                 "choices": list(s.choices)}
+                for s in ctx.space.slots
+            ],
+        })
+
+    def result(self, ctx: PipelineContext) -> SearchSpace:
+        return ctx.space
+
+
+class TrainStage(Stage):
+    """Phase 2 — one-shot SPOS supernet training.
+
+    Inputs: specify-stage outputs plus ``spec.train``.  Outputs:
+    ``train_log`` and trained ``supernet`` weights.  Resumable: restores
+    the weights and log from ``supernet_weights.npz``/``train_log.json``.
+    """
+
+    name = "train"
+    ARTIFACT = "train_log"
+    WEIGHTS = "supernet_weights"
+
+    def execute(self, ctx: PipelineContext,
+                config: Optional[TrainConfig] = None) -> TrainLog:
+        if ctx.supernet is None:
+            SpecifyStage().execute(ctx)
+        # An explicit override config bypasses resume: the persisted
+        # weights were produced under the spec's training section.
+        if config is not None:
+            self._train(ctx, config)
+            if ctx.store is not None:
+                self.persist(ctx)
+            return ctx.train_log
+        return super().execute(ctx)
+
+    def _train(self, ctx: PipelineContext, config: TrainConfig) -> None:
+        ctx.train_log = train_supernet(
+            ctx.supernet, ctx.splits.train, config,
+            rng=derive_seed(ctx.spec.seed, 6))
+
+    def resume(self, ctx: PipelineContext) -> bool:
+        store = ctx.store
+        if not (store.has(self.ARTIFACT) and store.has_state(self.WEIGHTS)):
+            return False
+        ctx.supernet.load_state_dict(store.load_state(self.WEIGHTS))
+        ctx.train_log = TrainLog.from_dict(store.load_json(self.ARTIFACT))
+        ctx.resumed.add(self.name)
+        return True
+
+    def run(self, ctx: PipelineContext) -> TrainLog:
+        self._train(ctx, ctx.spec.train.to_config())
+        return ctx.train_log
+
+    def persist(self, ctx: PipelineContext) -> None:
+        ctx.store.save_json(self.ARTIFACT, ctx.train_log.to_dict())
+        ctx.store.save_state(self.WEIGHTS, ctx.supernet.state_dict())
+
+    def result(self, ctx: PipelineContext) -> TrainLog:
+        return ctx.train_log
+
+
+class SearchStage(Stage):
+    """Phase 3 — evolutionary search, one run per spec'd aim.
+
+    Inputs: trained supernet plus ``spec.search``.  Outputs:
+    ``search_results``/``search_seconds`` keyed by aim display name.
+    All aims share the supernet and the memoized evaluator, so a batch
+    of N aims costs far fewer evaluations than N independent runs.
+    Resumable per aim; the evaluator cache is persisted too.
+    """
+
+    name = "search"
+    CACHE = "evaluations"
+
+    @staticmethod
+    def artifact_name(aim_name: str) -> str:
+        """Per-aim artifact name, e.g. ``search_accuracy_optimal``."""
+        return f"search_{_aim_slug(aim_name)}"
+
+    def execute(self, ctx: PipelineContext) -> Dict[str, SearchResult]:
+        if ctx.train_log is None:
+            TrainStage().execute(ctx)
+        for aim in ctx.spec.search.aims:
+            self.search_one(
+                ctx, aim,
+                evolution=ctx.spec.search.evolution.to_config(),
+                use_gp_cost_model=ctx.spec.search.use_gp_cost_model)
+        return ctx.search_results
+
+    def search_one(self, ctx: PipelineContext, aim, *,
+                   evolution: Optional[EvolutionConfig] = None,
+                   use_gp_cost_model: bool = True) -> SearchResult:
+        """Search a single aim, resuming from its artifact when present."""
+        aim_obj = get_aim(aim)
+        if ctx.store is not None:
+            name = self.artifact_name(aim_obj.name)
+            if ctx.store.has(name):
+                payload = ctx.store.load_json(name)
+                result = SearchResult.from_dict(payload["result"])
+                ctx.search_results[aim_obj.name] = result
+                ctx.search_seconds[aim_obj.name] = float(payload["seconds"])
+                ctx.resumed.add(f"search:{aim_obj.name}")
+                return result
+        evaluator = ensure_evaluator(ctx, use_gp_cost_model)
+        # zlib.crc32 is stable across processes (unlike hash(str)).
+        aim_salt = zlib.crc32(aim_obj.name.encode())
+        with Timer() as timer:
+            search = EvolutionarySearch(
+                evaluator, aim_obj, config=evolution,
+                rng=derive_seed(ctx.spec.seed, 8, aim_salt))
+            result = search.run()
+        ctx.search_results[aim_obj.name] = result
+        ctx.search_seconds[aim_obj.name] = timer.elapsed
+        if ctx.store is not None:
+            ctx.store.save_json(self.artifact_name(aim_obj.name), {
+                "aim": aim_obj.name,
+                "seconds": timer.elapsed,
+                "result": result.to_dict(),
+            })
+            ctx.store.save_json(self.CACHE, [
+                candidate.to_dict()
+                for candidate in evaluator.cache.values()
+            ])
+        return result
+
+
+class GenerateStage(Stage):
+    """Phase 4 — characterize the winning configuration, optionally emit.
+
+    Inputs: ``spec.generate`` plus (unless an explicit config is given)
+    the search results.  Outputs: ``designs``/``projects`` keyed by the
+    Table-2 config string, with a ``design_<config>.json`` report
+    artifact.  The analytic characterization is cheap and deterministic,
+    so this stage recomputes the live design and (re)writes its record.
+    """
+
+    name = "generate"
+
+    @staticmethod
+    def artifact_name(config_string: str) -> str:
+        """Per-config artifact name, e.g. ``design_B-K-M``."""
+        return f"design_{config_string}"
+
+    def target_config(self, ctx: PipelineContext) -> DropoutConfig:
+        """Resolve which configuration to generate."""
+        gen = ctx.spec.generate
+        if gen.config is not None:
+            return ctx.space.validate(config_from_string(gen.config))
+        aim_name = get_aim(gen.aim or ctx.spec.search.aims[0]).name
+        if aim_name not in ctx.search_results:
+            raise RuntimeError(
+                f"no search result for aim {aim_name!r}; "
+                f"searched: {sorted(ctx.search_results)}")
+        return ctx.search_results[aim_name].best_config
+
+    def execute(self, ctx: PipelineContext
+                ) -> Tuple[AcceleratorDesign, Optional[EmittedProject]]:
+        gen = ctx.spec.generate
+        config = self.target_config(ctx)
+        outdir = None
+        if gen.emit:
+            outdir = gen.outdir or "generated_accelerator"
+        design, project = build_design(ctx, config, outdir=outdir,
+                                       project_name=gen.project_name)
+        key = config_to_string(config)
+        ctx.designs[key] = design
+        if project is not None:
+            ctx.projects[key] = project
+        if ctx.store is not None:
+            ctx.store.save_json(self.artifact_name(key), {
+                "report": design.report.to_dict(),
+                "emitted_files": (sorted(project.relative_files())
+                                  if project is not None else []),
+                "outdir": outdir,
+            })
+        return design, project
+
+
+#: The canonical four-phase pipeline order.
+DEFAULT_STAGES = (SpecifyStage, TrainStage, SearchStage, GenerateStage)
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "GenerateStage",
+    "PipelineContext",
+    "SearchStage",
+    "SpecifyStage",
+    "Stage",
+    "TrainStage",
+    "build_design",
+    "ensure_cost_model",
+    "ensure_evaluator",
+]

@@ -21,6 +21,7 @@ from repro.bayes.metrics import (
 )
 from repro.data.dataset import Dataset
 from repro.nn.module import Module
+from repro.utils.validation import check_known_fields
 
 
 @dataclass
@@ -67,6 +68,34 @@ class AlgorithmicReport:
         }
         out.update(self.extras)
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Structured JSON-ready view; ``extras`` stay nested so the
+        report round-trips exactly (unlike the flat :meth:`as_dict`)."""
+        return {
+            "accuracy": float(self.accuracy),
+            "ece": float(self.ece),
+            "ape": float(self.ape),
+            "nll": float(self.nll),
+            "brier": float(self.brier),
+            "num_mc_samples": int(self.num_mc_samples),
+            "extras": {k: float(v) for k, v in self.extras.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AlgorithmicReport":
+        """Rebuild a report serialized with :meth:`to_dict`."""
+        check_known_fields(data, cls, "AlgorithmicReport")
+        return cls(
+            accuracy=float(data["accuracy"]),
+            ece=float(data["ece"]),
+            ape=float(data["ape"]),
+            nll=float(data["nll"]),
+            brier=float(data["brier"]),
+            num_mc_samples=int(data["num_mc_samples"]),
+            extras={k: float(v)
+                    for k, v in dict(data.get("extras", {})).items()},
+        )
 
 
 def evaluate_bayesnn(model: Module, data: Dataset, ood: Dataset, *,

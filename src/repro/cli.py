@@ -1,15 +1,19 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``python -m repro.cli <command>`` (or the
+installed ``repro`` console script).
 
-Three commands cover the common workflows without writing a script:
+Built on the :mod:`repro.api` experiment layer.  Four commands:
 
-* ``search`` — run the four-phase flow and print the searched
-  configuration(s) per aim;
-* ``generate`` — emit the HLS project for a configuration (searched or
-  user-specified);
+* ``run`` — execute a declarative experiment spec end to end (all
+  phases, every aim in the spec), persisting JSON artifacts through the
+  :class:`~repro.api.ArtifactStore`; re-running the same spec against
+  the same store resumes from the artifacts instead of retraining;
+* ``search`` — ad-hoc four-phase search from flat flags;
+* ``generate`` — emit the HLS project for a configuration;
 * ``report`` — print the csynth-style report of a configuration.
 
 Examples::
 
+    python -m repro.cli run --spec experiment.json --store runs/
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
         --image-size 16 --aims accuracy latency
     python -m repro.cli generate --config B-K-M --outdir gen/
@@ -19,11 +23,25 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.flow import DropoutSearchFlow, FlowSpec
-from repro.search import EvolutionConfig, TrainConfig, get_aim
+from repro.api import (
+    ArtifactError,
+    EvolutionSpec,
+    ExperimentSpec,
+    Pipeline,
+    PipelineContext,
+    Runner,
+    SearchSpec,
+    SearchStage,
+    SpecError,
+    SpecifyStage,
+    TrainSpec,
+    TrainStage,
+    build_design,
+)
 from repro.search.space import config_from_string
 
 
@@ -48,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=15,
                        help="supernet training epochs")
 
+    p_run = sub.add_parser(
+        "run", help="run a declarative experiment spec (JSON file)")
+    p_run.add_argument("--spec", required=True,
+                       help="path to an ExperimentSpec JSON file")
+    p_run.add_argument("--store", default="runs",
+                       help="artifact-store root directory (default: runs)")
+    p_run.add_argument("--no-store", action="store_true",
+                       help="run fully in memory (no artifacts, no resume)")
+    p_run.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the full result digest as JSON")
+
     p_search = sub.add_parser(
         "search", help="run the four-phase dropout search")
     add_flow_args(p_search)
@@ -57,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="aim presets to search (default: all four)")
     p_search.add_argument("--population", type=int, default=12)
     p_search.add_argument("--generations", type=int, default=6)
+    p_search.add_argument(
+        "--store", default=None,
+        help="optional artifact-store root; enables resume")
 
     p_generate = sub.add_parser(
         "generate", help="emit an HLS project for a configuration")
@@ -75,55 +107,113 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_flow(args: argparse.Namespace) -> DropoutSearchFlow:
-    flow = DropoutSearchFlow(FlowSpec(
+def _spec_from_args(args: argparse.Namespace, *,
+                    aims: Optional[List[str]] = None,
+                    population: Optional[int] = None,
+                    generations: Optional[int] = None) -> ExperimentSpec:
+    """Build a declarative spec from the flat legacy-style flags."""
+    evolution = EvolutionSpec()
+    if population is not None or generations is not None:
+        evolution = EvolutionSpec(
+            population_size=population if population is not None else 16,
+            generations=generations if generations is not None else 8)
+    return ExperimentSpec(
+        name=f"cli-{args.model}",
         model=args.model, dataset=args.dataset,
         image_size=args.image_size, dataset_size=args.dataset_size,
-        seed=args.seed))
-    flow.specify()
-    return flow
+        seed=args.seed,
+        train=TrainSpec(epochs=args.epochs),
+        search=SearchSpec(aims=tuple(aims) if aims else ("accuracy",),
+                          evolution=evolution))
+
+
+def _specified_context(args: argparse.Namespace) -> PipelineContext:
+    """A context with Phase 1 executed (no training) for codegen paths."""
+    ctx = PipelineContext(spec=_spec_from_args(args))
+    SpecifyStage().execute(ctx)
+    return ctx
+
+
+def _parse_config(ctx: PipelineContext, text: str):
+    """Parse and validate a Table-2 config string against the space."""
+    try:
+        return ctx.space.validate(config_from_string(text))
+    except KeyError as exc:  # unknown design letter
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from exc
+
+
+def _print_summary_rows(rows) -> None:
+    for row in rows:
+        seconds = row["search_seconds"]
+        cost = f" {seconds:6.1f}s" if seconds is not None else ""
+        print(f"{row['aim']:<18} {row['config']:<12} "
+              f"acc={row['accuracy_pct']:5.1f}% "
+              f"ECE={row['ece_pct']:5.2f}% "
+              f"aPE={row['ape_nats']:5.3f} "
+              f"lat={row['latency_ms']:.3f}ms{cost}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    runner = Runner(spec,
+                    store_root=None if args.no_store else args.store)
+    result = runner.run()
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"run id: {result.run_id}")
+    if result.store_root:
+        print(f"artifacts: {result.store_root}")
+    if result.resumed:
+        print(f"resumed from artifacts: {', '.join(sorted(result.resumed))}")
+    log = result.train_log
+    print(f"supernet: {log.steps} steps, {log.wall_seconds:.1f}s"
+          f"{' (restored)' if 'train' in result.resumed else ''}")
+    _print_summary_rows(result.summary())
+    for key, design in result.designs.items():
+        print(f"\ngenerated design [{key}]")
+        print(design.report.render())
+    return 0
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    flow = _make_flow(args)
-    print(f"search space: {flow.state.space}")
-    log = flow.train(TrainConfig(epochs=args.epochs))
+    spec = _spec_from_args(args, aims=list(args.aims),
+                           population=args.population,
+                           generations=args.generations)
+    # Search-only pipeline: no Phase-4 generation (use `run`/`generate`).
+    pipeline = Pipeline([SpecifyStage(), TrainStage(), SearchStage()])
+    runner = Runner(spec, store_root=args.store, pipeline=pipeline)
+    ctx = runner.ctx
+    space = SpecifyStage().execute(ctx)
+    print(f"search space: {space}")
+    result = runner.run()
+    log = result.train_log
     print(f"supernet trained: {log.steps} steps, "
           f"{log.wall_seconds:.1f}s")
-    evolution = EvolutionConfig(population_size=args.population,
-                                generations=args.generations)
-    for aim in args.aims:
-        result = flow.search(aim, evolution=evolution)
-        best = result.best
-        print(f"{get_aim(aim).name:<18} {best.config_string:<12} "
-              f"acc={best.report.accuracy_percent:5.1f}% "
-              f"ECE={best.report.ece_percent:5.2f}% "
-              f"aPE={best.report.ape:5.3f} "
-              f"lat={best.latency_ms:.3f}ms")
+    _print_summary_rows(result.summary())
     return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    flow = _make_flow(args)
-    config = config_from_string(args.config)
-    flow.state.space.validate(config)
-    design, project = flow.generate(config, outdir=args.outdir,
-                                    project_name=args.project_name)
+    ctx = _specified_context(args)
+    config = _parse_config(ctx, args.config)
+    design, project = build_design(ctx, config, outdir=args.outdir,
+                                   project_name=args.project_name)
     print(f"emitted {len(project.files)} files under {args.outdir}/")
     print(design.report.render())
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    flow = _make_flow(args)
-    config = config_from_string(args.config)
-    flow.state.space.validate(config)
-    design, _ = flow.generate(config)
+    ctx = _specified_context(args)
+    config = _parse_config(ctx, args.config)
+    design, _ = build_design(ctx, config)
     print(design.report.render())
     return 0
 
 
 _COMMANDS = {
+    "run": cmd_run,
     "search": cmd_search,
     "generate": cmd_generate,
     "report": cmd_report,
@@ -131,9 +221,17 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User errors (bad spec file, torn artifact store) are rendered as a
+    one-line ``error:`` message instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (SpecError, ArtifactError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,18 +1,28 @@
-"""The four-phase neural dropout search flow (paper Fig. 2).
+"""Deprecated four-phase flow facade (use :mod:`repro.api` instead).
 
-``DropoutSearchFlow`` packages the full pipeline:
+``DropoutSearchFlow`` was the original stateful driver of the paper's
+pipeline (Fig. 2).  It now survives only as a thin shim over the
+composable :mod:`repro.api` stages so existing scripts keep working:
 
-1. **Specification** — choose the network, the dataset, the specified
-   dropout slots and their admissible designs;
-2. **Training** — one-shot SPOS supernet training with uniform path
-   sampling and weight sharing;
-3. **Search** — evolutionary optimization of the scalarized aim,
-   Eq. (2), with the GP hardware cost model supplying instant latency
-   estimates;
-4. **Accelerator generation** — characterize the winning configuration
-   on the FPGA model and emit the HLS project.
+* phases delegate to :class:`~repro.api.stages.SpecifyStage`,
+  :class:`~repro.api.stages.TrainStage`,
+  :class:`~repro.api.stages.SearchStage` and
+  :func:`~repro.api.stages.build_design`;
+* ``flow.state`` *is* the underlying
+  :class:`~repro.api.stages.PipelineContext` (whose field names match
+  the old ``FlowState``), so attribute access is unchanged.
 
-Example::
+New code should build an :class:`repro.api.ExperimentSpec` and run it
+through :class:`repro.api.Runner`, which adds JSON artifact
+persistence, resume and batch sweeps::
+
+    from repro.api import ExperimentSpec, Runner
+    result = Runner(ExperimentSpec(model="lenet_slim",
+                                   dataset="mnist_like",
+                                   image_size=16, seed=7),
+                    store_root="runs").run()
+
+Legacy example (still supported)::
 
     flow = DropoutSearchFlow(FlowSpec(model="lenet_slim",
                                       dataset="mnist_like",
@@ -25,66 +35,44 @@ Example::
 
 from __future__ import annotations
 
-import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.bayes.evaluate import AlgorithmicReport
-from repro.data import (
-    DataSplits,
-    Dataset,
-    gaussian_noise_like,
-    make_dataset,
-    split_dataset,
+from repro.api.runner import summary_rows
+from repro.api.spec import ExperimentSpec
+from repro.api.stages import (
+    PipelineContext,
+    SearchStage,
+    SpecifyStage,
+    TrainStage,
+    build_design,
+    ensure_cost_model,
+    ensure_evaluator,
 )
-from repro.hw.accelerator import (
-    AcceleratorBuilder,
-    AcceleratorDesign,
-    recommended_config,
-)
-from repro.hw.codegen import EmittedProject, emit_hls_project
+from repro.hw.accelerator import AcceleratorDesign
+from repro.hw.codegen import EmittedProject
 from repro.hw.cost_model import GPLatencyModel
-from repro.hw.netlist import trace_network
 from repro.hw.perf import AcceleratorConfig
-from repro.models import build_model
-from repro.nn.module import Module
 from repro.search import (
     CandidateEvaluator,
     EvolutionConfig,
-    EvolutionarySearch,
     SearchResult,
     SearchSpace,
-    Supernet,
     TrainConfig,
     TrainLog,
-    get_aim,
-    train_supernet,
 )
-from repro.search.space import DropoutConfig, config_to_string
-from repro.utils.rng import derive_seed
-from repro.utils.timers import Timer
+from repro.search.space import DropoutConfig
+
+#: Backward-compatible alias: ``flow.state`` is a PipelineContext.
+FlowState = PipelineContext
 
 
 @dataclass
 class FlowSpec:
-    """Phase-1 specification.
+    """Legacy flat specification (superseded by ``ExperimentSpec``).
 
-    Attributes:
-        model: model-zoo name (``lenet``, ``vgg11``, ``resnet18`` or a
-            ``*_slim`` CI variant).
-        dataset: synthetic dataset name (``mnist_like`` / ``svhn_like``
-            / ``cifar_like``).
-        image_size: square input side; None uses dataset default.
-        dataset_size: number of synthesized images.
-        ood_size: number of Gaussian-noise OOD images for aPE.
-        mc_samples: Monte-Carlo passes per inference (paper: 3).
-        dropout_p: drop rate of the dynamic designs.
-        masksembles_scale: Masksembles overlap scale.
-        num_masks: Masksembles family size.
-        block_size: Block-dropout patch side.
-        accelerator: FPGA design knobs; None uses the calibrated
-            per-model preset.
-        seed: master seed; all phases derive their streams from it.
+    Attributes mirror the original flow surface; see
+    :class:`repro.api.ExperimentSpec` for the declarative replacement.
     """
 
     model: str = "lenet"
@@ -100,175 +88,103 @@ class FlowSpec:
     accelerator: Optional[AcceleratorConfig] = None
     seed: int = 0
 
-
-@dataclass
-class FlowState:
-    """Artifacts produced as the flow advances through its phases."""
-
-    dataset: Optional[Dataset] = None
-    splits: Optional[DataSplits] = None
-    ood: Optional[Dataset] = None
-    model: Optional[Module] = None
-    supernet: Optional[Supernet] = None
-    space: Optional[SearchSpace] = None
-    train_log: Optional[TrainLog] = None
-    cost_model: Optional[GPLatencyModel] = None
-    evaluator: Optional[CandidateEvaluator] = None
-    search_results: Dict[str, SearchResult] = field(default_factory=dict)
-    search_seconds: Dict[str, float] = field(default_factory=dict)
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """The equivalent declarative spec (minus the live accelerator
+        override, which :class:`DropoutSearchFlow` passes separately)."""
+        return ExperimentSpec(
+            model=self.model, dataset=self.dataset,
+            image_size=self.image_size, dataset_size=self.dataset_size,
+            ood_size=self.ood_size, mc_samples=self.mc_samples,
+            dropout_p=self.dropout_p,
+            masksembles_scale=self.masksembles_scale,
+            num_masks=self.num_masks, block_size=self.block_size,
+            seed=self.seed)
 
 
 class DropoutSearchFlow:
-    """Drives the four phases end to end (see module docstring)."""
+    """Deprecated stateful facade over the :mod:`repro.api` stages."""
 
     def __init__(self, spec: Optional[FlowSpec] = None) -> None:
         self.spec = spec or FlowSpec()
-        self.state = FlowState()
-        self.accel_config: AcceleratorConfig = (
-            self.spec.accelerator
-            or recommended_config(self.spec.model,
-                                  mc_samples=self.spec.mc_samples))
-        self._builder = AcceleratorBuilder(self.accel_config)
+        self._ctx = PipelineContext(
+            spec=self.spec.to_experiment_spec(),
+            accel_override=self.spec.accelerator)
+        self._search_stage = SearchStage()
 
     # ------------------------------------------------------------------
-    # Phase 1: Specification
+    # Legacy attribute surface
     # ------------------------------------------------------------------
-    def specify(self) -> SearchSpace:
-        """Build data, model, supernet and the dropout search space."""
-        spec = self.spec
-        data_seed = derive_seed(spec.seed, 1)
-        dataset = make_dataset(spec.dataset, spec.dataset_size,
-                               image_size=spec.image_size,
-                               rng=data_seed).normalized()
-        splits = split_dataset(dataset, rng=derive_seed(spec.seed, 2))
-        ood = gaussian_noise_like(splits.train, spec.ood_size,
-                                  rng=derive_seed(spec.seed, 3))
-        in_channels, height, _ = dataset.image_shape
-        model = build_model(spec.model, in_channels=in_channels,
-                            image_size=height,
-                            rng=derive_seed(spec.seed, 4))
-        supernet = Supernet(
-            model, p=spec.dropout_p, num_masks=spec.num_masks,
-            scale=spec.masksembles_scale, block_size=spec.block_size,
-            rng=derive_seed(spec.seed, 5))
-        self.state.dataset = dataset
-        self.state.splits = splits
-        self.state.ood = ood
-        self.state.model = model
-        self.state.supernet = supernet
-        self.state.space = supernet.space
-        return supernet.space
+    @property
+    def state(self) -> PipelineContext:
+        """The runtime state (a live :class:`PipelineContext`)."""
+        return self._ctx
 
-    # ------------------------------------------------------------------
-    # Phase 2: Training
-    # ------------------------------------------------------------------
-    def train(self, config: Optional[TrainConfig] = None) -> TrainLog:
-        """One-shot SPOS supernet training."""
-        if self.state.supernet is None:
-            self.specify()
-        log = train_supernet(
-            self.state.supernet, self.state.splits.train,
-            config or TrainConfig(epochs=20),
-            rng=derive_seed(self.spec.seed, 6))
-        self.state.train_log = log
-        return log
+    @property
+    def accel_config(self) -> AcceleratorConfig:
+        """Resolved accelerator design knobs."""
+        return self._ctx.accel_config
 
-    # ------------------------------------------------------------------
-    # Phase 3: Search
-    # ------------------------------------------------------------------
+    @property
+    def _builder(self):
+        return self._ctx.builder
+
     @property
     def input_shape(self) -> Tuple[int, ...]:
         """Per-image input shape of the specified dataset."""
-        if self.state.dataset is None:
+        if self._ctx.dataset is None:
             raise RuntimeError("run specify() first")
-        return self.state.dataset.image_shape
+        return self._ctx.input_shape
 
-    def _ensure_cost_model(self) -> GPLatencyModel:
-        if self.state.cost_model is None:
-            netlist = trace_network(self.state.supernet.model,
-                                    self.input_shape)
-            self.state.cost_model = GPLatencyModel(
-                netlist, self.accel_config,
-                rng=derive_seed(self.spec.seed, 7))
-        return self.state.cost_model
+    # ------------------------------------------------------------------
+    # Phases (delegating to the api stages)
+    # ------------------------------------------------------------------
+    def specify(self) -> SearchSpace:
+        """Phase 1: build data, model, supernet and the search space."""
+        return SpecifyStage().execute(self._ctx)
 
-    def _ensure_evaluator(self, use_gp_cost_model: bool
-                          ) -> CandidateEvaluator:
-        if self.state.evaluator is None:
-            if use_gp_cost_model:
-                latency_fn = self._ensure_cost_model()
-            else:
-                latency_fn = self._builder.latency_oracle(
-                    self.state.supernet, self.input_shape)
-            self.state.evaluator = CandidateEvaluator(
-                self.state.supernet, self.state.splits.val, self.state.ood,
-                latency_fn=latency_fn, num_mc_samples=self.spec.mc_samples)
-        return self.state.evaluator
+    def train(self, config: Optional[TrainConfig] = None) -> TrainLog:
+        """Phase 2: one-shot SPOS supernet training."""
+        if self._ctx.supernet is None:
+            self.specify()
+        return TrainStage().execute(
+            self._ctx, config=config or TrainConfig(epochs=20))
 
     def search(self, aim="accuracy", *,
                evolution: Optional[EvolutionConfig] = None,
                use_gp_cost_model: bool = True) -> SearchResult:
-        """Evolutionary search under one aim (Eq. 2).
-
-        Results and wall-clock costs are recorded per aim, mirroring the
-        paper's Table 2.
-        """
-        if self.state.train_log is None:
+        """Phase 3: evolutionary search under one aim (Eq. 2)."""
+        if self._ctx.train_log is None:
             self.train()
-        aim_obj = get_aim(aim)
-        evaluator = self._ensure_evaluator(use_gp_cost_model)
-        # zlib.crc32 is stable across processes (unlike hash(str)).
-        aim_salt = zlib.crc32(aim_obj.name.encode())
-        with Timer() as timer:
-            search = EvolutionarySearch(
-                evaluator, aim_obj, config=evolution,
-                rng=derive_seed(self.spec.seed, 8, aim_salt))
-            result = search.run()
-        self.state.search_results[aim_obj.name] = result
-        self.state.search_seconds[aim_obj.name] = timer.elapsed
-        return result
+        return self._search_stage.search_one(
+            self._ctx, aim, evolution=evolution,
+            use_gp_cost_model=use_gp_cost_model)
 
-    # ------------------------------------------------------------------
-    # Phase 4: Accelerator generation
-    # ------------------------------------------------------------------
     def generate(self, config: DropoutConfig, *,
                  outdir: Optional[str] = None,
                  project_name: str = "myproject"
                  ) -> Tuple[AcceleratorDesign, Optional[EmittedProject]]:
-        """Characterize ``config`` and optionally emit the HLS project."""
-        if self.state.supernet is None:
+        """Phase 4: characterize ``config``; optionally emit HLS."""
+        if self._ctx.supernet is None:
             raise RuntimeError("run specify() first")
-        design = self._builder.build_for_config(
-            self.state.supernet, self.input_shape, tuple(config),
-            name=self.spec.model)
-        project = None
-        if outdir is not None:
-            project = emit_hls_project(design, outdir,
-                                       model=self.state.supernet.model,
-                                       project_name=project_name)
-        return design, project
+        return build_design(self._ctx, config, outdir=outdir,
+                            project_name=project_name)
 
     # ------------------------------------------------------------------
     # Reporting helpers
     # ------------------------------------------------------------------
+    def _ensure_cost_model(self) -> GPLatencyModel:
+        return ensure_cost_model(self._ctx)
+
+    def _ensure_evaluator(self, use_gp_cost_model: bool
+                          ) -> CandidateEvaluator:
+        return ensure_evaluator(self._ctx, use_gp_cost_model)
+
     def evaluate_config(self, config: DropoutConfig):
         """Algorithmic + hardware snapshot of one configuration."""
-        evaluator = self._ensure_evaluator(True)
+        evaluator = ensure_evaluator(self._ctx, True)
         return evaluator.evaluate(tuple(config))
 
     def summary(self) -> List[Dict[str, object]]:
         """One row per searched aim: config, metrics, latency, cost."""
-        rows: List[Dict[str, object]] = []
-        for aim_name, result in self.state.search_results.items():
-            report: AlgorithmicReport = result.best.report
-            rows.append({
-                "aim": aim_name,
-                "config": config_to_string(result.best_config),
-                "accuracy_pct": report.accuracy_percent,
-                "ece_pct": report.ece_percent,
-                "ape_nats": report.ape,
-                "latency_ms": result.best.latency_ms,
-                "search_seconds": self.state.search_seconds.get(aim_name),
-                "evaluations": result.num_evaluations,
-            })
-        return rows
+        return summary_rows(self._ctx.search_results,
+                            self._ctx.search_seconds)

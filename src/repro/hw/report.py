@@ -73,6 +73,55 @@ class SynthesisReport:
             "lut_pct": util["LUT"],
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full machine-readable view of the report (JSON-ready).
+
+        One-way serialization: the analytic ``perf``/``power`` objects
+        are flattened into plain numbers, mirroring how a csynth XML
+        report would be scraped.  Used by the ``repro.api``
+        :class:`~repro.api.artifacts.ArtifactStore` to persist
+        generation-phase artifacts.
+        """
+        cfg: AcceleratorConfig = self.perf.config
+        res = self.perf.resources
+        dev = cfg.device
+        return {
+            "design_name": self.design_name,
+            "dropout_config": self.dropout_config,
+            "device": dev.name,
+            "technology_nm": int(dev.technology_nm),
+            "clock_mhz": float(self.clock_mhz),
+            "precision": str(cfg.fixed_point),
+            "mc_samples": int(cfg.mc_samples),
+            "timing": {
+                "cycles_per_pass": float(self.perf.cycles_per_pass),
+                "total_cycles": float(self.perf.total_cycles),
+                "latency_ms": float(self.latency_ms),
+                "throughput_images_per_s":
+                    float(self.perf.throughput_images_per_s),
+            },
+            "resources": {
+                "bram36": int(res.bram36),
+                "dsp": int(res.dsp),
+                "ff": int(res.ffs),
+                "lut": int(res.luts),
+            },
+            "utilization_percent": {
+                k: float(v) for k, v in self.utilization_percent().items()
+            },
+            "power_w": {
+                "static": float(self.power.static),
+                "io": float(self.power.io),
+                "logic_signal": float(self.power.logic_signal),
+                "dsp": float(self.power.dsp),
+                "clocking": float(self.power.clocking),
+                "bram": float(self.power.bram),
+                "dynamic": float(self.power.dynamic),
+                "total": float(self.power.total),
+            },
+            "energy_per_image_j": float(self.energy_per_image_j),
+        }
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------

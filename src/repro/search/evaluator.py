@@ -17,6 +17,7 @@ from repro.data.dataset import Dataset
 from repro.search.objective import SearchAim
 from repro.search.space import DropoutConfig, config_to_string
 from repro.search.supernet import Supernet
+from repro.utils.validation import check_known_fields
 
 #: Signature of a hardware latency oracle: config -> latency in ms.
 LatencyFn = Callable[[DropoutConfig], float]
@@ -45,6 +46,24 @@ class CandidateResult:
                "latency_ms": self.latency_ms}
         row.update(self.report.as_dict())
         return row
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view that round-trips via :meth:`from_dict`."""
+        return {
+            "config": list(self.config),
+            "report": self.report.to_dict(),
+            "latency_ms": float(self.latency_ms),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CandidateResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        check_known_fields(data, cls, "CandidateResult")
+        return cls(
+            config=tuple(data["config"]),
+            report=AlgorithmicReport.from_dict(data["report"]),
+            latency_ms=float(data["latency_ms"]),
+        )
 
 
 class CandidateEvaluator:
@@ -97,3 +116,22 @@ class CandidateEvaluator:
     def cache(self) -> Dict[DropoutConfig, CandidateResult]:
         """All evaluated candidates so far."""
         return dict(self._cache)
+
+    def preload(self, results) -> int:
+        """Warm the memo cache with previously evaluated candidates.
+
+        Used by the ``repro.api`` pipeline to reuse persisted
+        evaluations across process restarts; preloaded entries do not
+        count toward :attr:`num_evaluations`.  Returns the number of
+        entries added (configs outside the space are skipped).
+        """
+        added = 0
+        for result in results:
+            try:
+                config = self.supernet.space.validate(tuple(result.config))
+            except (ValueError, KeyError):
+                continue
+            if config not in self._cache:
+                self._cache[config] = result
+                added += 1
+        return added

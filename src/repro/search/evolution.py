@@ -26,7 +26,11 @@ from repro.search.evaluator import CandidateEvaluator, CandidateResult
 from repro.search.objective import SearchAim
 from repro.search.space import DropoutConfig, SearchSpace
 from repro.utils.rng import SeedLike, new_rng
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import (
+    check_fraction,
+    check_known_fields,
+    check_positive_int,
+)
 
 
 @dataclass
@@ -67,6 +71,28 @@ class GenerationStats:
     best_config: DropoutConfig
     evaluations_so_far: int
 
+    def to_dict(self) -> dict:
+        """JSON-ready view that round-trips via :meth:`from_dict`."""
+        return {
+            "generation": int(self.generation),
+            "best_score": float(self.best_score),
+            "mean_score": float(self.mean_score),
+            "best_config": list(self.best_config),
+            "evaluations_so_far": int(self.evaluations_so_far),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationStats":
+        """Rebuild stats serialized with :meth:`to_dict`."""
+        check_known_fields(data, cls, "GenerationStats")
+        return cls(
+            generation=int(data["generation"]),
+            best_score=float(data["best_score"]),
+            mean_score=float(data["mean_score"]),
+            best_config=tuple(data["best_config"]),
+            evaluations_so_far=int(data["evaluations_so_far"]),
+        )
+
 
 @dataclass
 class SearchResult:
@@ -81,6 +107,27 @@ class SearchResult:
     def best_config(self) -> DropoutConfig:
         """The winning configuration."""
         return self.best.config
+
+    def to_dict(self) -> dict:
+        """JSON-ready view that round-trips via :meth:`from_dict`."""
+        return {
+            "best": self.best.to_dict(),
+            "best_score": float(self.best_score),
+            "history": [stats.to_dict() for stats in self.history],
+            "num_evaluations": int(self.num_evaluations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        check_known_fields(data, cls, "SearchResult")
+        return cls(
+            best=CandidateResult.from_dict(data["best"]),
+            best_score=float(data["best_score"]),
+            history=[GenerationStats.from_dict(h)
+                     for h in data.get("history", [])],
+            num_evaluations=int(data.get("num_evaluations", 0)),
+        )
 
 
 class EvolutionarySearch:

@@ -21,7 +21,7 @@ from repro.nn.module import Module
 from repro.search.supernet import Supernet
 from repro.utils.rng import SeedLike, child_rng, new_rng
 from repro.utils.timers import Timer
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_known_fields, check_positive_int
 
 
 @dataclass
@@ -37,6 +37,24 @@ class TrainLog:
     epoch_losses: List[float] = field(default_factory=list)
     wall_seconds: float = 0.0
     steps: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view that round-trips via :meth:`from_dict`."""
+        return {
+            "epoch_losses": [float(x) for x in self.epoch_losses],
+            "wall_seconds": float(self.wall_seconds),
+            "steps": int(self.steps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainLog":
+        """Rebuild a log serialized with :meth:`to_dict`."""
+        check_known_fields(data, cls, "TrainLog")
+        return cls(
+            epoch_losses=[float(x) for x in data.get("epoch_losses", [])],
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            steps=int(data.get("steps", 0)),
+        )
 
 
 @dataclass

@@ -1,0 +1,126 @@
+"""Tests for the ArtifactStore and result (de)serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactError, ArtifactStore
+from repro.bayes.evaluate import AlgorithmicReport
+from repro.search import CandidateResult, SearchResult
+from repro.search.evolution import GenerationStats
+from repro.search.trainer import TrainLog
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+def make_report(**overrides):
+    base = dict(accuracy=0.91, ece=0.04, ape=1.7, nll=0.5, brier=0.2,
+                num_mc_samples=3, extras={"mean_epistemic_id": 0.01})
+    base.update(overrides)
+    return AlgorithmicReport(**base)
+
+
+def make_search_result():
+    best = CandidateResult(config=("B", "K", "M"), report=make_report(),
+                           latency_ms=0.93)
+    history = [GenerationStats(generation=0, best_score=0.91,
+                               mean_score=0.8, best_config=("B", "K", "M"),
+                               evaluations_so_far=6)]
+    return SearchResult(best=best, best_score=0.91, history=history,
+                        num_evaluations=6)
+
+
+class TestJsonArtifacts:
+    def test_save_load_round_trip(self, store):
+        payload = {"a": [1, 2, 3], "b": {"c": 0.5}}
+        path = store.save_json("thing", payload)
+        assert os.path.exists(path)
+        assert store.load_json("thing") == payload
+
+    def test_has_and_list(self, store):
+        assert not store.has("x")
+        assert store.list_artifacts() == []
+        store.save_json("x", 1)
+        store.save_json("y", 2)
+        assert store.has("x")
+        assert store.list_artifacts() == ["x", "y"]
+
+    def test_missing_artifact_raises(self, store):
+        with pytest.raises(ArtifactError, match="not found"):
+            store.load_json("absent")
+
+    def test_corrupt_artifact_raises(self, store):
+        store.save_json("bad", 1)
+        with open(store.path("bad.json"), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.load_json("bad")
+
+    def test_invalid_names_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.save_json("../escape", 1)
+        with pytest.raises(ValueError):
+            store.save_json(".hidden", 1)
+
+    def test_subdir_nests(self, store):
+        child = store.subdir("run-1")
+        child.save_json("a", 1)
+        assert child.root == os.path.join(store.root, "run-1")
+        assert child.load_json("a") == 1
+        assert not store.has("a")
+
+
+class TestStateArtifacts:
+    def test_state_round_trip(self, store):
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3),
+                 "b": np.zeros(3)}
+        store.save_state("weights", state)
+        assert store.has_state("weights")
+        loaded = store.load_state("weights")
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_missing_state_raises(self, store):
+        with pytest.raises(ArtifactError):
+            store.load_state("absent")
+
+
+class TestResultSerialization:
+    def test_algorithmic_report_round_trip(self, store):
+        report = make_report()
+        store.save_json("report", report.to_dict())
+        rebuilt = AlgorithmicReport.from_dict(store.load_json("report"))
+        assert rebuilt == report
+
+    def test_algorithmic_report_rejects_unknown(self):
+        data = make_report().to_dict()
+        data["acuracy"] = 1.0
+        with pytest.raises(ValueError, match="unknown"):
+            AlgorithmicReport.from_dict(data)
+
+    def test_search_result_round_trip(self, store):
+        result = make_search_result()
+        store.save_json("search", result.to_dict())
+        rebuilt = SearchResult.from_dict(store.load_json("search"))
+        assert rebuilt == result
+        assert rebuilt.best_config == ("B", "K", "M")
+        assert rebuilt.history[0].best_config == ("B", "K", "M")
+
+    def test_search_result_rejects_unknown(self):
+        data = make_search_result().to_dict()
+        data["bst"] = None
+        with pytest.raises(ValueError, match="unknown"):
+            SearchResult.from_dict(data)
+
+    def test_train_log_round_trip(self):
+        log = TrainLog(epoch_losses=[1.5, 0.9], wall_seconds=2.5, steps=40)
+        assert TrainLog.from_dict(log.to_dict()) == log
+
+    def test_candidate_result_round_trip(self):
+        result = CandidateResult(config=("M", "M"), report=make_report(),
+                                 latency_ms=1.25)
+        assert CandidateResult.from_dict(result.to_dict()) == result

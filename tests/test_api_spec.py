@@ -1,0 +1,177 @@
+"""Tests for the declarative ExperimentSpec (repro.api.spec)."""
+
+import pytest
+
+from repro.api import (
+    AcceleratorSpec,
+    EvolutionSpec,
+    ExperimentSpec,
+    GenerateSpec,
+    SearchSpec,
+    SpecError,
+    TrainSpec,
+)
+from repro.api.spec import SCHEMA_VERSION
+from repro.hw.device import XCKU115
+
+
+@pytest.fixture()
+def full_spec():
+    """A spec exercising every section, including the optional ones."""
+    return ExperimentSpec(
+        name="full",
+        model="resnet18_slim",
+        dataset="cifar_like",
+        image_size=16,
+        dataset_size=300,
+        ood_size=60,
+        mc_samples=2,
+        dropout_p=0.2,
+        seed=11,
+        train=TrainSpec(epochs=3, batch_size=16, lr=1e-3,
+                        optimizer="sgd"),
+        search=SearchSpec(
+            aims=("accuracy", "latency"),
+            evolution=EvolutionSpec(population_size=5, generations=2),
+            use_gp_cost_model=False),
+        accelerator=AcceleratorSpec(device="XCKU115", pe=32,
+                                    clock_mhz=150.0),
+        generate=GenerateSpec(aim="latency", emit=True, outdir="out",
+                              project_name="sweep"),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, full_spec):
+        rebuilt = ExperimentSpec.from_dict(full_spec.to_dict())
+        assert rebuilt == full_spec
+        assert rebuilt.to_dict() == full_spec.to_dict()
+
+    def test_json_round_trip(self, full_spec):
+        rebuilt = ExperimentSpec.from_json(full_spec.to_json())
+        assert rebuilt == full_spec
+
+    def test_file_round_trip(self, full_spec, tmp_path):
+        path = str(tmp_path / "spec.json")
+        full_spec.save(path)
+        assert ExperimentSpec.load(path) == full_spec
+
+    def test_defaults_round_trip(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert spec.schema_version == SCHEMA_VERSION
+
+    def test_minimal_dict_fills_defaults(self):
+        spec = ExperimentSpec.from_dict({"model": "lenet_slim"})
+        assert spec.model == "lenet_slim"
+        assert spec.train.epochs == TrainSpec().epochs
+        assert spec.accelerator is None
+
+
+class TestValidation:
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            ExperimentSpec.from_dict({"model": "lenet", "modell": "x"})
+
+    def test_unknown_nested_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            ExperimentSpec.from_dict(
+                {"train": {"epochs": 2, "warmup": 1}})
+
+    def test_unknown_evolution_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            ExperimentSpec.from_dict(
+                {"search": {"evolution": {"pop": 4}}})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(dataset_size=0)
+        with pytest.raises(SpecError):
+            ExperimentSpec(dropout_p=1.5)
+        with pytest.raises(SpecError):
+            ExperimentSpec.from_dict({"train": {"epochs": -1}})
+
+    def test_unknown_aim_rejected(self):
+        with pytest.raises(SpecError, match="unknown aim"):
+            SearchSpec(aims=("accuracy", "speed"))
+
+    def test_empty_aims_rejected(self):
+        with pytest.raises(SpecError):
+            SearchSpec(aims=())
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SpecError, match="unknown device"):
+            AcceleratorSpec(device="XC7Z999")
+
+    def test_unsupported_schema_version_rejected(self):
+        with pytest.raises(SpecError, match="schema_version"):
+            ExperimentSpec.from_dict({"schema_version": 99})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SpecError, match="mapping"):
+            ExperimentSpec.from_dict(["model"])
+
+    def test_type_invalid_values_raise_spec_error(self):
+        # Wrong-typed values must surface as SpecError, never TypeError.
+        with pytest.raises(SpecError):
+            ExperimentSpec.from_dict({"dropout_p": "0.5"})
+        with pytest.raises(SpecError):
+            ExperimentSpec.from_dict({"masksembles_scale": "big"})
+        with pytest.raises(SpecError):
+            ExperimentSpec.from_dict({"search": {"aims": 123}})
+
+    def test_unknown_generate_config_letter_rejected(self):
+        with pytest.raises(SpecError, match="generate.config"):
+            GenerateSpec(config="Z-Z-Z")
+        # Valid letters pass at spec level (slot count is checked
+        # against the concrete space at generation time).
+        assert GenerateSpec(config="B-K-M").config == "B-K-M"
+
+
+class TestIdentity:
+    def test_fingerprint_ignores_name(self):
+        a = ExperimentSpec(name="a", seed=5)
+        b = ExperimentSpec(name="b", seed=5)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.run_id != b.run_id
+
+    def test_fingerprint_tracks_content(self):
+        assert (ExperimentSpec(seed=1).fingerprint()
+                != ExperimentSpec(seed=2).fingerprint())
+
+    def test_fingerprint_ignores_generate_section(self):
+        # The generate section selects what to emit, not what to
+        # compute — changing it must not invalidate resume.
+        a = ExperimentSpec(generate=GenerateSpec())
+        b = ExperimentSpec(generate=GenerateSpec(aim="latency", emit=True,
+                                                 outdir="elsewhere"))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_with_updates(self):
+        spec = ExperimentSpec(name="base", seed=0)
+        other = spec.with_updates(seed=9)
+        assert other.seed == 9
+        assert spec.seed == 0
+
+
+class TestDerivedConfigs:
+    def test_accelerator_section_resolves(self, full_spec):
+        config = full_spec.accelerator_config()
+        assert config.pe == 32
+        assert config.device is XCKU115
+        assert config.mc_samples == full_spec.mc_samples
+        assert config.effective_clock_mhz == 150.0
+
+    def test_preset_fallback(self):
+        config = ExperimentSpec(model="resnet18_slim").accelerator_config()
+        assert config.pe == 552  # calibrated ResNet18 preset
+
+    def test_train_section_resolves(self, full_spec):
+        cfg = full_spec.train.to_config()
+        assert cfg.epochs == 3
+        assert cfg.optimizer == "sgd"
+
+    def test_evolution_section_resolves(self, full_spec):
+        cfg = full_spec.search.evolution.to_config()
+        assert cfg.population_size == 5
+        assert cfg.generations == 2

@@ -1,7 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import (
+    EvolutionSpec,
+    ExperimentSpec,
+    GenerateSpec,
+    SearchSpec,
+    TrainSpec,
+)
 from repro.cli import build_parser, main
 
 
@@ -61,9 +70,85 @@ class TestCommands:
         assert (tmp_path / "gen" / "firmware" / "cli_gen.cpp").exists()
         assert "emitted" in out
 
-    def test_invalid_config_rejected(self):
-        with pytest.raises(ValueError):
-            main([
-                "report", "--model", "lenet_slim", "--image-size", "16",
-                "--dataset-size", "120", "--config", "K-K-K",
-            ])
+    def test_invalid_config_rejected(self, capsys):
+        code = main([
+            "report", "--model", "lenet_slim", "--image-size", "16",
+            "--dataset-size", "120", "--config", "K-K-K",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not admissible" in err
+
+    def test_unknown_design_letter_rejected(self, capsys):
+        code = main([
+            "report", "--model", "lenet_slim", "--image-size", "16",
+            "--dataset-size", "120", "--config", "Z-Z-Z",
+        ])
+        assert code == 2
+        assert "unknown dropout design 'Z'" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = ExperimentSpec(
+            name="cli-run",
+            model="lenet_slim", dataset="mnist_like", image_size=16,
+            dataset_size=200, ood_size=40, seed=6,
+            train=TrainSpec(epochs=2),
+            search=SearchSpec(
+                aims=("latency",),
+                evolution=EvolutionSpec(population_size=4,
+                                        generations=2)),
+            generate=GenerateSpec(aim="latency"))
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        return path
+
+    def test_run_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_executes_and_resumes(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        argv = ["run", "--spec", str(spec_file), "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run id: cli-run-" in out
+        assert "Latency Optimal" in out
+        assert "Synthesis Report" in out
+        assert "resumed" not in out
+        # Second invocation resumes from the persisted artifacts.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed from artifacts" in out
+        assert "train" in out
+
+    def test_run_json_output(self, spec_file, tmp_path, capsys):
+        code = main(["run", "--spec", str(spec_file),
+                     "--store", str(tmp_path / "runs"), "--json"])
+        assert code == 0
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["spec"]["name"] == "cli-run"
+        assert "Latency Optimal" in digest["search"]
+
+    def test_run_no_store(self, spec_file, capsys):
+        code = main(["run", "--spec", str(spec_file), "--no-store"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifacts:" not in out
+
+    def test_run_rejects_invalid_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"model": "lenet", "frobnicate": 1}')
+        assert main(["run", "--spec", str(bad), "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "frobnicate" in err
+
+    def test_run_missing_spec_file(self, tmp_path, capsys):
+        code = main(["run", "--spec", str(tmp_path / "nope.json"),
+                     "--no-store"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -24,7 +24,8 @@ class TestCompile:
 
     def test_expected_examples_present(self):
         names = {p.name for p in ALL_EXAMPLES}
-        for expected in ("quickstart.py", "lenet_mnist_search.py",
+        for expected in ("quickstart.py", "batch_sweep.py",
+                         "lenet_mnist_search.py",
                          "resnet_cifar_pareto.py",
                          "generate_accelerator.py",
                          "uncertainty_ood.py",
@@ -56,3 +57,20 @@ class TestRun:
         assert "Phase 1" in out
         assert "Phase 4" in out
         assert "Synthesis Report" in out
+
+    def test_batch_sweep_runs_and_resumes(self, tmp_path, monkeypatch,
+                                          capsys):
+        """The sweep example persists runs and resumes on re-execution."""
+        argv = ["batch_sweep.py", "--seeds", "1",
+                "--store", str(tmp_path / "runs")]
+        monkeypatch.setattr(sys, "argv", argv)
+        runpy.run_path(str(EXAMPLES_DIR / "batch_sweep.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "sweeping 1 experiments" in out
+        assert "Accuracy Optimal" in out
+        assert "(resumed)" not in out
+        monkeypatch.setattr(sys, "argv", argv)
+        runpy.run_path(str(EXAMPLES_DIR / "batch_sweep.py"),
+                       run_name="__main__")
+        assert "(resumed)" in capsys.readouterr().out
