@@ -8,6 +8,7 @@ printed to the terminal (bypassing capture) and written under
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Sequence
 
@@ -21,6 +22,45 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 #: CI-scale evolutionary budget used across benches.
 EVOLUTION = EvolutionConfig(population_size=12, generations=6)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="DIR",
+        help="directory for machine-readable BENCH_<name>.json records "
+             "(default: benchmarks/out/)")
+    parser.addoption(
+        "--bench-smoke", action="store_true", default=False,
+        help="run benches at smoke scale (small workloads, few "
+             "repetitions) — used by CI to gate on relative results "
+             "without paying full measurement cost")
+
+
+@pytest.fixture(scope="session")
+def bench_smoke(request) -> bool:
+    """True when the run should use smoke-scale workloads."""
+    return bool(request.config.getoption("--bench-smoke"))
+
+
+@pytest.fixture()
+def bench_json(request):
+    """Writer for machine-readable benchmark records.
+
+    ``bench_json(name, payload)`` dumps ``payload`` (any JSON-able
+    mapping) to ``BENCH_<name>.json`` under ``--bench-json`` (or
+    ``benchmarks/out/``) and returns the path.
+    """
+    out_dir = request.config.getoption("--bench-json") or OUT_DIR
+
+    def _write(name: str, payload) -> str:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _write
 
 
 def render_table(title: str, headers: Sequence[str],

@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.bayes.mc import ENGINES
 from repro.hw.device import DEVICE_CATALOG, get_device
 from repro.hw.fixed_point import FixedPointFormat
 from repro.hw.perf import AcceleratorConfig
@@ -290,6 +291,7 @@ class ExperimentSpec:
     dataset_size: int = 900
     ood_size: int = 200
     mc_samples: int = 3
+    engine: str = "batched"
     dropout_p: float = 0.15
     masksembles_scale: float = 1.7
     num_masks: int = 4
@@ -322,6 +324,9 @@ class ExperimentSpec:
                 check_positive_int(self.image_size, "image_size")
         except (TypeError, ValueError) as exc:
             raise SpecError(str(exc)) from exc
+        if self.engine not in ENGINES:
+            raise SpecError(f"unknown engine {self.engine!r}; "
+                            f"choose from {list(ENGINES)}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SpecError(f"seed must be an int, got {self.seed!r}")
         if (not isinstance(self.dropout_p, (int, float))
@@ -350,6 +355,7 @@ class ExperimentSpec:
             "dataset_size": self.dataset_size,
             "ood_size": self.ood_size,
             "mc_samples": self.mc_samples,
+            "engine": self.engine,
             "dropout_p": self.dropout_p,
             "masksembles_scale": self.masksembles_scale,
             "num_masks": self.num_masks,
@@ -416,12 +422,17 @@ class ExperimentSpec:
         The display name and the ``generate`` section are excluded:
         they select what to emit, not what to compute, so changing the
         generation target (or toggling emission) still resumes from the
-        persisted train/search artifacts.  The fingerprint forms the
-        tail of :attr:`run_id`, which keys resumable runs in the store.
+        persisted train/search artifacts.  The ``engine`` field is
+        excluded too: the batched and looped MC engines are
+        bit-identical (see :mod:`repro.bayes.mc`), so switching engines
+        changes how results are computed, never what they are — the
+        same artifacts remain valid.  The fingerprint forms the tail of
+        :attr:`run_id`, which keys resumable runs in the store.
         """
         payload = self.to_dict()
         payload.pop("name")
         payload.pop("generate")
+        payload.pop("engine")
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

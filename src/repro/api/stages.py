@@ -45,6 +45,7 @@ from repro.hw.perf import AcceleratorConfig
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.search import (
+    BatchedEvaluator,
     CandidateEvaluator,
     CandidateResult,
     EvolutionConfig,
@@ -133,10 +134,14 @@ def ensure_cost_model(ctx: PipelineContext) -> GPLatencyModel:
 
 def ensure_evaluator(ctx: PipelineContext,
                      use_gp_cost_model: bool) -> CandidateEvaluator:
-    """Build (once) the memoizing candidate evaluator.
+    """Build (once) the memoizing, generation-batched evaluator.
 
-    When the context has a store with a persisted evaluation cache, the
-    cache is preloaded so resumed runs skip re-evaluating candidates.
+    The evaluator scores whole EA generations through the shared
+    supernet with the MC engine the spec selects (``spec.engine``;
+    batched by default, with the looped engine as the bit-identical
+    reference oracle).  When the context has a store with a persisted
+    evaluation cache, the cache is preloaded so resumed runs skip
+    re-evaluating candidates.
     """
     if ctx.evaluator is None:
         if use_gp_cost_model:
@@ -144,10 +149,11 @@ def ensure_evaluator(ctx: PipelineContext,
         else:
             latency_fn = ctx.builder.latency_oracle(
                 ctx.supernet, ctx.input_shape)
-        ctx.evaluator = CandidateEvaluator(
+        ctx.evaluator = BatchedEvaluator(
             ctx.supernet, ctx.splits.val, ctx.ood,
             latency_fn=latency_fn,
-            num_mc_samples=ctx.spec.mc_samples)
+            num_mc_samples=ctx.spec.mc_samples,
+            engine=ctx.spec.engine)
         if ctx.store is not None and ctx.store.has(SearchStage.CACHE):
             cached = [CandidateResult.from_dict(entry)
                       for entry in ctx.store.load_json(SearchStage.CACHE)]

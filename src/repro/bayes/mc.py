@@ -1,26 +1,72 @@
-"""Monte-Carlo dropout inference (paper Sec. 2.1.2).
+"""Monte-Carlo dropout inference (paper Sec. 2.1.2) — two engines.
 
 A dropout-based BayesNN produces its predictive distribution by running
 ``T`` stochastic forward passes with dropout *enabled at inference*;
 each pass draws a fresh dropout mask (dynamic designs) or rotates to the
 next pre-generated mask (Masksembles).  The Monte-Carlo average of the
 per-pass softmax outputs approximates the Bayesian posterior predictive.
+
+Engines
+-------
+
+``looped``
+    The reference oracle: ``T`` sequential stochastic forward passes,
+    exactly the textbook formulation.  Kept deliberately simple so its
+    correctness is obvious; the batched engine is verified against it.
+
+``batched`` (default)
+    The production fast path.  The ``T`` Monte-Carlo samples are folded
+    into a single forward pass: the deterministic *prefix* of the
+    network (everything upstream of the first stochastic dropout layer)
+    is computed once, the first stochastic layer tiles its activation
+    to ``T * N`` rows, and the rest of the network processes all
+    samples in one fused sweep under
+    :func:`repro.nn.inference.inference_mode` (no backward caches).
+
+Equivalence contract (enforced by ``tests/test_mc_equivalence.py``):
+for every ``batch_size`` the two engines produce **bit-identical**
+``MCPrediction.probs``.  Two mechanisms make this possible:
+
+* *Canonical mask plans* — both engines draw all masks through
+  :meth:`DropoutLayer.sample_masks` at the full input-batch shape in
+  pass-major order, so the random stream is independent of the engine
+  and of any micro-batching; ``batch_size`` can split a Monte-Carlo
+  sample mid-batch without perturbing a single mask bit.
+* *Batch-size-invariant operators* — convolution runs as per-image
+  GEMMs, pooling/activations/frozen-norm are row-local, and linear
+  layers slice the fused matrix back into per-sample GEMMs
+  (:meth:`repro.nn.inference.MCBatchContext.linear_slices`), so every
+  row is computed with the same BLAS call shape as in the reference.
+
+Across *different* ``batch_size`` settings the masks are still
+identical and probabilities agree to GEMM rounding (the row count of a
+BLAS GEMM affects last-bit rounding; see the equivalence suite).
+
+Note: layers that share one ``numpy.random.Generator`` *instance* would
+interleave draws differently under a mask plan than under per-pass
+in-layer sampling; every constructor in this library hands each layer
+an independent stream, which keeps plans bit-compatible with the
+pre-plan sequential behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.dropout.base import DropoutLayer
 from repro.nn.functional import softmax
+from repro.nn.inference import MCBatchContext, inference_mode, mc_batch
 from repro.nn.module import Module
 from repro.utils.validation import check_positive_int
 
 #: Numerical floor used inside logs.
 _EPS = 1e-12
+
+#: Names of the available MC inference engines.
+ENGINES = ("batched", "looped")
 
 
 @dataclass
@@ -49,13 +95,24 @@ class MCPrediction:
         return self.mean_probs.argmax(axis=1)
 
     def predictive_entropy(self) -> np.ndarray:
-        """Total predictive entropy H[E[p]] per input, in nats."""
+        """Total predictive entropy H[E[p]] per input, in nats.
+
+        Probabilities are clipped into ``[_EPS, 1]`` inside the log, so
+        saturated (one-hot) predictions yield exactly zero entropy
+        instead of drifting slightly negative (``log(1 + eps) > 0``).
+        """
         p = self.mean_probs
-        return -(p * np.log(p + _EPS)).sum(axis=1)
+        return -(p * np.log(np.clip(p, _EPS, 1.0))).sum(axis=1)
 
     def expected_entropy(self) -> np.ndarray:
-        """Expected per-pass entropy E[H[p]] (aleatoric part), in nats."""
-        h = -(self.probs * np.log(self.probs + _EPS)).sum(axis=2)
+        """Expected per-pass entropy E[H[p]] (aleatoric part), in nats.
+
+        Uses the same log clipping as :meth:`predictive_entropy` so the
+        two entropy terms are computed consistently and each per-pass
+        entropy is non-negative.
+        """
+        p = self.probs
+        h = -(p * np.log(np.clip(p, _EPS, 1.0))).sum(axis=2)
         return h.mean(axis=0)
 
     def mutual_information(self) -> np.ndarray:
@@ -64,30 +121,40 @@ class MCPrediction:
             self.predictive_entropy() - self.expected_entropy(), 0.0)
 
 
-def _mc_layers(model: Module):
+def _mc_layers(model: Module) -> List[DropoutLayer]:
     """All dropout layers (directly or via slots) inside ``model``."""
     return [m for m in model.modules() if isinstance(m, DropoutLayer)]
 
 
-def mc_predict(model: Module, images: np.ndarray, num_samples: int = 3, *,
-               batch_size: Optional[int] = None) -> MCPrediction:
-    """Run ``num_samples`` stochastic forward passes over ``images``.
+def _chunk_bounds(total: int, batch_size: Optional[int]):
+    """Yield ``(start, rows)`` micro-batch bounds over ``total`` rows."""
+    if batch_size is None or batch_size >= total:
+        yield 0, total
+        return
+    for start in range(0, total, batch_size):
+        yield start, min(batch_size, total - start)
 
-    The model is put in eval mode (frozen batch-norm statistics) while
-    its MC-dropout layers stay stochastic — the defining behaviour of
-    dropout-based BayesNN inference.  Static designs rotate through
-    their mask families via ``new_sample``.
 
-    Args:
-        model: network containing MC-dropout layers (possibly none, in
-            which case all passes are identical).
-        images: input batch ``(N, C, H, W)`` or features ``(N, D)``.
-        num_samples: number of Monte-Carlo passes ``T`` (the paper's
-            experiments use ``T = 3``).
-        batch_size: optional micro-batch size to bound memory.
+def _finish(model: Module, layers: List[DropoutLayer], num_samples: int,
+            was_training: bool) -> None:
+    """Restore mode and leave sample counters as after ``T`` passes."""
+    for layer in layers:
+        layer.reset_samples()
+        for _ in range(num_samples):
+            layer.new_sample()
+    if was_training:
+        model.train()
 
-    Returns:
-        An :class:`MCPrediction` with per-pass probabilities.
+
+def mc_predict_looped(model: Module, images: np.ndarray,
+                      num_samples: int = 3, *,
+                      batch_size: Optional[int] = None) -> MCPrediction:
+    """Reference engine: ``T`` sequential stochastic forward passes.
+
+    Masks come from the canonical plan (full-batch shape, pass-major),
+    so with ``batch_size=None`` this is bit-identical to the historic
+    per-pass in-layer sampling, and with micro-batching the mask stream
+    is unchanged — only activations are processed in chunks.
     """
     check_positive_int(num_samples, "num_samples")
     was_training = model.training
@@ -95,17 +162,102 @@ def mc_predict(model: Module, images: np.ndarray, num_samples: int = 3, *,
     layers = _mc_layers(model)
     for layer in layers:
         layer.reset_samples()
+    n = images.shape[0]
+    ctx = MCBatchContext(num_samples, n)
     all_probs = []
-    for _ in range(num_samples):
-        if batch_size is None:
-            logits = model(images)
-        else:
-            chunks = [model(images[i:i + batch_size])
-                      for i in range(0, images.shape[0], batch_size)]
-            logits = np.concatenate(chunks, axis=0)
-        all_probs.append(softmax(logits, axis=1))
-        for layer in layers:
-            layer.new_sample()
-    if was_training:
-        model.train()
+    with mc_batch(ctx):
+        for t in range(num_samples):
+            ctx.set_sample(t)
+            chunks = []
+            for start, rows in _chunk_bounds(n, batch_size):
+                ctx.set_chunk(start, rows)
+                chunks.append(model(images[start:start + rows]))
+            logits = chunks[0] if len(chunks) == 1 else np.concatenate(
+                chunks, axis=0)
+            all_probs.append(softmax(logits, axis=1))
+    _finish(model, layers, num_samples, was_training)
     return MCPrediction(probs=np.stack(all_probs, axis=0))
+
+
+def mc_predict_batched(model: Module, images: np.ndarray,
+                       num_samples: int = 3, *,
+                       batch_size: Optional[int] = None) -> MCPrediction:
+    """Fast engine: all ``T`` samples in one fused forward pass.
+
+    The shared pre-dropout prefix is computed once per chunk; the first
+    stochastic dropout layer tiles its activation across samples, and
+    the fused suffix runs under :func:`inference_mode`.  ``batch_size``
+    bounds the *input* rows per chunk (each chunk still carries all
+    ``T`` samples), so the forward working set scales with
+    ``T * batch_size`` rather than ``T * len(images)``.  Mask plans are
+    the exception: they are always drawn at the canonical full-batch
+    shape (that is what makes the random stream micro-batch invariant),
+    so each stochastic layer holds one ``(T, N, ...)``-sized mask array
+    for the duration of the call.
+    """
+    check_positive_int(num_samples, "num_samples")
+    was_training = model.training
+    model.eval()
+    layers = _mc_layers(model)
+    for layer in layers:
+        layer.reset_samples()
+    n = images.shape[0]
+    ctx = MCBatchContext(num_samples, n)
+    chunk_probs = []
+    with inference_mode(), mc_batch(ctx):
+        for start, rows in _chunk_bounds(n, batch_size):
+            ctx.set_sample(None)
+            ctx.set_chunk(start, rows)
+            logits = model(images[start:start + rows])
+            if logits.shape[0] == num_samples * rows:
+                stacked = logits.reshape(num_samples, rows, -1)
+                chunk_probs.append(softmax(stacked, axis=2))
+            elif logits.shape[0] == rows:
+                # No stochastic layer fired: all passes are identical,
+                # so one softmax is broadcast across the samples.
+                p = softmax(logits, axis=1)
+                chunk_probs.append(
+                    np.broadcast_to(p, (num_samples,) + p.shape))
+            else:
+                raise RuntimeError(
+                    f"model returned batch {logits.shape[0]} for chunk of "
+                    f"{rows} rows and {num_samples} MC samples")
+    probs = chunk_probs[0] if len(chunk_probs) == 1 else np.concatenate(
+        chunk_probs, axis=1)
+    _finish(model, layers, num_samples, was_training)
+    return MCPrediction(probs=np.ascontiguousarray(probs))
+
+
+def mc_predict(model: Module, images: np.ndarray, num_samples: int = 3, *,
+               batch_size: Optional[int] = None,
+               engine: str = "batched") -> MCPrediction:
+    """Run ``num_samples`` stochastic forward passes over ``images``.
+
+    The model is put in eval mode (frozen batch-norm statistics) while
+    its MC-dropout layers stay stochastic — the defining behaviour of
+    dropout-based BayesNN inference.  Static designs rotate through
+    their mask families via the canonical mask plan.
+
+    Args:
+        model: network containing MC-dropout layers (possibly none, in
+            which case all passes are identical).
+        images: input batch ``(N, C, H, W)`` or features ``(N, D)``.
+        num_samples: number of Monte-Carlo passes ``T`` (the paper's
+            experiments use ``T = 3``).
+        batch_size: optional micro-batch size (input rows per chunk) to
+            bound memory.
+        engine: ``"batched"`` (fused fast path, default) or
+            ``"looped"`` (sequential reference oracle).  The engines
+            are bit-identical for any fixed ``batch_size``; see the
+            module docstring.
+
+    Returns:
+        An :class:`MCPrediction` with per-pass probabilities.
+    """
+    if engine == "batched":
+        return mc_predict_batched(model, images, num_samples,
+                                  batch_size=batch_size)
+    if engine == "looped":
+        return mc_predict_looped(model, images, num_samples,
+                                 batch_size=batch_size)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")

@@ -28,9 +28,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.inference import current_mc_batch, is_inference
 from repro.nn.module import DTYPE, Module
 from repro.utils.rng import SeedLike, new_rng
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_fraction, check_positive_int
 
 #: Granularity labels used across the library (paper Fig. 1 row 2).
 GRANULARITY_POINT = "point"
@@ -126,6 +127,30 @@ class DropoutLayer(Module):
         """Rewind the sample counter (start a fresh MC estimate)."""
         self._sample_index = 0
 
+    def sample_masks(self, num_samples: int, shape) -> np.ndarray:
+        """Draw the masks of ``num_samples`` Monte-Carlo passes at once.
+
+        Returns an array broadcastable to ``(num_samples,) + shape``
+        whose slice ``t`` equals the mask :meth:`_sample_mask` would
+        have drawn on pass ``t`` of a sequential full-batch run —
+        subclasses vectorize this where their random stream allows it,
+        and the base implementation is the sequential reference.  The
+        layer's sample counter ends at ``num_samples``, exactly as
+        after ``num_samples`` looped passes.
+
+        This is the entry point of the batched MC engine's *mask plan*
+        (:class:`repro.nn.inference.MCBatchContext`): masks are always
+        planned at the canonical full-batch ``shape``, which makes the
+        random stream independent of any micro-batching.
+        """
+        check_positive_int(num_samples, "num_samples")
+        self.reset_samples()
+        masks = np.empty((num_samples,) + tuple(shape), dtype=DTYPE)
+        for t in range(num_samples):
+            masks[t] = self._sample_mask(tuple(shape))
+            self.new_sample()
+        return masks
+
     # ------------------------------------------------------------------
     # Module interface
     # ------------------------------------------------------------------
@@ -137,8 +162,15 @@ class DropoutLayer(Module):
         if not self.stochastic:
             self._mask = None
             return x
+        ctx = current_mc_batch()
+        if ctx is not None:
+            # Planned-mask execution (MC engines): masks come from the
+            # context's canonical plan; these passes are inference-only,
+            # so no backward cache is kept.
+            self._mask = None
+            return ctx.apply(self, x)
         mask = self._sample_mask(x.shape)
-        self._mask = mask
+        self._mask = None if is_inference() else mask
         return (x * mask).astype(DTYPE)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -15,6 +15,7 @@ from repro.dropout.base import (
     HardwareTraits,
 )
 from repro.nn.module import DTYPE
+from repro.utils.validation import check_positive_int
 
 
 class BernoulliDropout(DropoutLayer):
@@ -38,6 +39,24 @@ class BernoulliDropout(DropoutLayer):
             return np.ones(shape, dtype=DTYPE)
         bern = self.rng.random(shape) < keep
         return (bern / keep).astype(DTYPE)
+
+    def sample_masks(self, num_samples: int, shape) -> np.ndarray:
+        """Vectorized plan: one uniform draw covers all ``T`` passes.
+
+        ``Generator.random`` fills arrays from the bit stream in C
+        order, so a single ``(T,) + shape`` draw is bit-identical to
+        ``T`` sequential ``shape`` draws.
+        """
+        check_positive_int(num_samples, "num_samples")
+        self.reset_samples()
+        keep = 1.0 - self.p
+        if keep >= 1.0:
+            masks = np.ones((num_samples,) + tuple(shape), dtype=DTYPE)
+        else:
+            bern = self.rng.random((num_samples,) + tuple(shape)) < keep
+            masks = np.where(bern, DTYPE(1.0 / keep), DTYPE(0.0))
+        self._sample_index = int(num_samples)
+        return masks
 
     def hw_traits(self) -> HardwareTraits:
         # One uniform draw compared against a threshold per activation:

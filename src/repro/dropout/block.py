@@ -77,6 +77,39 @@ class BlockDropout(DropoutLayer):
         scale = np.where(kept > 0, total / np.maximum(kept, 1.0), 0.0)
         return (mask * scale).astype(DTYPE)
 
+    def sample_masks(self, num_samples: int, shape) -> np.ndarray:
+        """Vectorized plan: seed draw and dilation over all ``T`` passes.
+
+        The seed-position draw is a single ``(T, N, C, vh, vw)``
+        uniform sample (bit-identical to ``T`` sequential draws) and
+        the block dilation/renormalization runs on the stacked array;
+        per-sample reductions cover the same contiguous ``C*H*W``
+        blocks, so values match the sequential reference exactly.
+        """
+        check_positive_int(num_samples, "num_samples")
+        _validate_conv_input(shape, "BlockDropout")
+        self.reset_samples()
+        n, c, h, w = shape
+        if self.p == 0.0:
+            self._sample_index = int(num_samples)
+            return np.ones((num_samples,) + tuple(shape), dtype=DTYPE)
+        block = min(self.block_size, h, w)
+        gamma = min(self._gamma(h, w, block), 1.0)
+        valid_h = max(h - block + 1, 1)
+        valid_w = max(w - block + 1, 1)
+        seeds = self.rng.random(
+            (num_samples, n, c, valid_h, valid_w)) < gamma
+        drop = np.zeros((num_samples,) + tuple(shape), dtype=bool)
+        for di in range(block):
+            for dj in range(block):
+                drop[:, :, :, di:di + valid_h, dj:dj + valid_w] |= seeds
+        mask = (~drop).astype(DTYPE)
+        kept = mask.sum(axis=(2, 3, 4), keepdims=True)
+        total = float(c * h * w)
+        scale = np.where(kept > 0, total / np.maximum(kept, 1.0), 0.0)
+        self._sample_index = int(num_samples)
+        return (mask * scale).astype(DTYPE)
+
     def hw_traits(self) -> HardwareTraits:
         # A seed RNG per valid position plus a block^2-window OR-dilation:
         # the window logic costs one comparator-equivalent per block cell.

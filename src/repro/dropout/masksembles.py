@@ -160,6 +160,36 @@ class Masksembles(DropoutLayer):
         scale = features / kept if kept > 0 else 0.0
         return np.broadcast_to(mask.reshape(mask_shape) * scale, shape).astype(DTYPE)
 
+    def sample_masks(self, num_samples: int, shape) -> np.ndarray:
+        """Vectorized plan: the whole rotation ``t % num_masks`` at once.
+
+        Static masks consume no randomness, so the plan is a pure
+        family lookup.  The result stays broadcast-compressed —
+        ``(T, 1, F)`` / ``(T, 1, F, 1, 1)`` rather than a materialized
+        ``(T,) + shape`` array — which lets the engines apply a
+        channel mask without ever expanding it to activation size.
+        """
+        check_positive_int(num_samples, "num_samples")
+        if len(shape) == 4:
+            features = shape[1]
+            tail = (1, features, 1, 1)
+        elif len(shape) == 2:
+            features = shape[1]
+            tail = (1, features)
+        else:
+            raise ValueError(
+                f"Masksembles expects 2-D or 4-D input, got shape "
+                f"{tuple(shape)}")
+        self.reset_samples()
+        family = self.masks_for(features)
+        rotation = np.arange(num_samples) % self.num_masks
+        rows = family[rotation].astype(DTYPE)
+        kept = rows.sum(axis=1).astype(np.float64)
+        scale = np.where(kept > 0, features / np.maximum(kept, 1.0), 0.0)
+        masks = (rows * scale[:, None]).astype(DTYPE)
+        self._sample_index = int(num_samples)
+        return masks.reshape((num_samples,) + tail)
+
     def hw_traits(self) -> HardwareTraits:
         # Masks live in BRAM (1 bit per channel per mask); no RNG and no
         # comparators on the datapath — just a mask-indexed AND gate.

@@ -53,6 +53,19 @@ class RandomDropout(DropoutLayer):
         """Granularity used by the most recent stochastic forward pass."""
         return self._last_granularity
 
+    def sample_masks(self, num_samples: int, shape) -> np.ndarray:
+        """Sequential plan (inherited): this design cannot vectorize.
+
+        Each pass first draws a scalar granularity choice and then a
+        mask whose *shape depends on that choice*, so the random stream
+        interleaves scalar and array draws — collapsing the ``T``
+        passes into one array draw would change the stream.  The base
+        implementation loops, which keeps the plan bit-identical to
+        the sequential reference; the fused engine still batches the
+        forward passes themselves.
+        """
+        return super().sample_masks(num_samples, shape)
+
     def _sample_mask(self, shape) -> np.ndarray:
         keep = 1.0 - self.p
         if keep >= 1.0:

@@ -16,6 +16,13 @@ from repro.nn.functional import (
     one_hot,
     softmax,
 )
+from repro.nn.inference import (
+    MCBatchContext,
+    current_mc_batch,
+    inference_mode,
+    is_inference,
+    mc_batch,
+)
 from repro.nn.linear import Linear
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import DTYPE, Identity, Module, Parameter
@@ -39,6 +46,7 @@ __all__ = [
     "LRScheduler",
     "LeakyReLU",
     "Linear",
+    "MCBatchContext",
     "MaxPool2d",
     "Module",
     "Parameter",
@@ -47,9 +55,13 @@ __all__ = [
     "StepLR",
     "col2im",
     "conv_output_size",
+    "current_mc_batch",
     "im2col",
+    "inference_mode",
+    "is_inference",
     "load_checkpoint",
     "log_softmax",
+    "mc_batch",
     "one_hot",
     "save_checkpoint",
     "softmax",

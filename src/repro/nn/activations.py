@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.inference import is_inference
 from repro.nn.module import DTYPE, Module
 
 
@@ -17,6 +18,9 @@ class ReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if is_inference():
+            self._mask = None
+            return np.maximum(x, 0).astype(DTYPE, copy=False)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0).astype(DTYPE)
 
@@ -40,6 +44,9 @@ class LeakyReLU(Module):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if is_inference():
+            self._mask = None
+            return np.where(x > 0, x, self.negative_slope * x).astype(DTYPE)
         self._mask = x > 0
         return np.where(self._mask, x, self.negative_slope * x).astype(DTYPE)
 

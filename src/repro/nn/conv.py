@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.inference import is_inference
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int, check_shape_4d
@@ -65,13 +66,22 @@ class Conv2d(Module):
             )
         oh, ow = self.output_shape(h, w)
         cols = im2col(x, self.kernel_size, self.stride, self.padding)
-        self._cols = cols
-        self._x_shape = x.shape
+        if is_inference():
+            self._cols = None
+            self._x_shape = None
+        else:
+            self._cols = cols
+            self._x_shape = x.shape
         w2d = self.weight.data.reshape(self.out_channels, -1)
-        # (F, CKK) @ (N, CKK, L) -> (N, F, L)
-        y = np.einsum("fk,nkl->nfl", w2d, cols, optimize=True)
+        # Broadcasted batch of per-image GEMMs: (F, CKK) @ (N, CKK, L)
+        # -> (N, F, L).  Each image is an independent fixed-dims GEMM,
+        # so per-image results do not depend on the batch size — the
+        # bitwise invariance the batched MC engine's equivalence
+        # contract relies on (an einsum contraction may switch paths
+        # with N and break it).
+        y = np.matmul(w2d, cols)
         if self.bias is not None:
-            y = y + self.bias.data[None, :, None]
+            np.add(y, self.bias.data[None, :, None], out=y)
         return y.reshape(n, self.out_channels, oh, ow)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

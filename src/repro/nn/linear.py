@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.nn import init
+from repro.nn.inference import current_mc_batch, is_inference
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
@@ -36,8 +37,19 @@ class Linear(Module):
             raise ValueError(
                 f"expected input (N, {self.in_features}), got {x.shape}"
             )
-        self._x = x
-        y = x @ self.weight.data.T
+        self._x = None if is_inference() else x
+        ctx = current_mc_batch()
+        slices = ctx.linear_slices(x.shape[0]) if ctx is not None else None
+        if slices is not None:
+            # Fused MC execution: one GEMM per Monte-Carlo sample slice.
+            # BLAS results for a row depend on the GEMM's total row
+            # count, so slicing keeps each sample's rows bit-identical
+            # to the looped reference pass of the same chunk size.
+            xs = x.reshape(slices, -1, self.in_features)
+            y = np.matmul(xs, self.weight.data.T)
+            y = y.reshape(x.shape[0], self.out_features)
+        else:
+            y = x @ self.weight.data.T
         if self.bias is not None:
             y = y + self.bias.data
         return y

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.functional import conv_output_size, pad2d
+from repro.nn.inference import is_inference
 from repro.nn.module import DTYPE, Module
 from repro.utils.validation import check_positive_int, check_shape_4d
 
@@ -49,6 +50,10 @@ class MaxPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = check_shape_4d(x, "x")
+        if is_inference():
+            self._argmax = None
+            self._x_shape = None
+            return self._forward_inference(x)
         self._x_shape = x.shape
         xp = x if self.padding == 0 else np.pad(
             x, ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
@@ -58,6 +63,33 @@ class MaxPool2d(Module):
         flat = win.reshape(n, c, oh, ow, -1)
         self._argmax = flat.argmax(axis=-1)
         return np.ascontiguousarray(flat.max(axis=-1), dtype=DTYPE)
+
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Max without the argmax indices or the window copy.
+
+        Accumulates ``np.maximum`` over the ``kernel^2`` strided window
+        offsets — each pass is one full-width vectorized elementwise op
+        instead of a reduction over a tiny window axis.  ``max`` is
+        exact under any evaluation order, so the result is
+        bit-identical to the training-mode forward.
+        """
+        _, _, h, w = x.shape
+        k = self.kernel_size
+        stride = self.stride
+        xp = x if self.padding == 0 else np.pad(
+            x, ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
+            mode="constant", constant_values=-np.inf)
+        oh = conv_output_size(h, k, stride, self.padding)
+        ow = conv_output_size(w, k, stride, self.padding)
+        out: Optional[np.ndarray] = None
+        for di in range(k):
+            for dj in range(k):
+                window = xp[:, :, di:di + stride * oh:stride,
+                            dj:dj + stride * ow:stride]
+                out = window if out is None else np.maximum(out, window)
+        if k == 1:
+            out = np.ascontiguousarray(out)
+        return out.astype(DTYPE, copy=False)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._argmax is None or self._x_shape is None:

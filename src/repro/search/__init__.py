@@ -7,7 +7,11 @@ and Pareto / exhaustive analysis tooling (Sec. 4.1, Fig. 4).
 """
 
 from repro.search.constraints import ConstrainedAim, with_latency_budget
-from repro.search.evaluator import CandidateEvaluator, CandidateResult
+from repro.search.evaluator import (
+    BatchedEvaluator,
+    CandidateEvaluator,
+    CandidateResult,
+)
 from repro.search.evolution import (
     EvolutionConfig,
     EvolutionarySearch,
@@ -69,6 +73,7 @@ __all__ = [
     "MAXIMIZE",
     "METRIC_DIRECTIONS",
     "MINIMIZE",
+    "BatchedEvaluator",
     "MultiObjectiveResult",
     "MultiObjectiveSearch",
     "CandidateEvaluator",

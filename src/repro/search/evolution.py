@@ -242,11 +242,19 @@ class EvolutionarySearch:
         history: List[GenerationStats] = []
         best: Optional[Tuple[float, CandidateResult]] = None
 
+        evaluate_generation = getattr(
+            self.evaluator, "evaluate_generation", None)
         for generation in range(cfg.generations):
-            scored: List[Tuple[float, CandidateResult]] = []
-            for candidate in population:
-                result = self.evaluator.evaluate(candidate)
-                scored.append((result.aim_score(self.aim), result))
+            # A generation-aware evaluator (BatchedEvaluator) scores the
+            # whole population through the shared supernet in one call;
+            # plain evaluators fall back to per-candidate evaluation.
+            if evaluate_generation is not None:
+                results = evaluate_generation(population)
+            else:
+                results = [self.evaluator.evaluate(candidate)
+                           for candidate in population]
+            scored: List[Tuple[float, CandidateResult]] = [
+                (result.aim_score(self.aim), result) for result in results]
             scored.sort(key=lambda item: item[0], reverse=True)
             if best is None or scored[0][0] > best[0]:
                 best = scored[0]

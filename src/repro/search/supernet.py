@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.dropout.base import DropoutLayer
 from repro.models.slots import DropoutSlot, collect_slots
 from repro.nn.module import Module
 from repro.search.space import DropoutConfig, SearchSpace
@@ -73,6 +74,22 @@ class Supernet(Module):
         config = self.space.sample(rng)
         self.set_config(config)
         return config
+
+    def active_dropout_layers(self) -> List["DropoutLayer"]:
+        """The selected dropout layer of each slot, in network order.
+
+        These are exactly the stochastic layers a Monte-Carlo engine
+        will plan masks for under the current configuration; the MC
+        determinism tests use this to inspect mask rotation state.
+
+        Raises:
+            RuntimeError: if no configuration is active.
+        """
+        if self._active_config is None:
+            raise RuntimeError(
+                "no active configuration; call set_config() or "
+                "sample_config() first")
+        return [slot.active for slot in self._slots]
 
     # ------------------------------------------------------------------
     # Module interface — delegate to the backbone

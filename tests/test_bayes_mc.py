@@ -119,3 +119,52 @@ class TestUncertaintyDecomposition:
     def test_predictions(self):
         probs = np.array([[[0.9, 0.1]], [[0.8, 0.2]]])
         assert MCPrediction(probs=probs).predictions().tolist() == [0]
+
+
+class TestEntropyNumericalStability:
+    """Log-clipping regressions for saturated (near-one-hot) probs.
+
+    Pre-fix, ``-(p * log(p + eps))`` drifted slightly *negative* for
+    ``p = 1`` (``log(1 + eps) > 0``); both entropy terms now clip the
+    probability into ``[eps, 1]`` inside the log, consistently.
+    """
+
+    @staticmethod
+    def saturated_prediction():
+        # Exact one-hot per-pass probabilities, as produced by a
+        # saturated float32 softmax on extreme logits.
+        probs = np.zeros((3, 4, 5), dtype=np.float32)
+        probs[:, np.arange(4), [0, 1, 2, 3]] = 1.0
+        return MCPrediction(probs=probs)
+
+    def test_saturated_softmax_yields_exact_one_hot(self):
+        from repro.nn.functional import softmax
+        logits = np.array([[0.0, 1e4, -1e4]], dtype=np.float32)
+        p = softmax(logits, axis=1)
+        assert p[0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_one_hot_predictive_entropy_is_exactly_zero(self):
+        pred = self.saturated_prediction()
+        assert np.array_equal(pred.predictive_entropy(), np.zeros(4))
+
+    def test_one_hot_expected_entropy_is_exactly_zero(self):
+        pred = self.saturated_prediction()
+        assert np.array_equal(pred.expected_entropy(), np.zeros(4))
+
+    def test_one_hot_mutual_information_is_zero(self):
+        pred = self.saturated_prediction()
+        assert np.array_equal(pred.mutual_information(), np.zeros(4))
+
+    def test_near_one_hot_entropies_nonnegative(self):
+        eps = np.float32(1e-7)
+        row = np.array([1.0 - 3 * eps, eps, eps, eps], dtype=np.float32)
+        pred = MCPrediction(probs=np.tile(row, (5, 2, 1)))
+        assert np.all(pred.predictive_entropy() >= 0)
+        assert np.all(pred.expected_entropy() >= 0)
+        assert np.all(pred.mutual_information() >= 0)
+
+    def test_zero_probability_contributes_zero(self):
+        # 0 * log(clip(0)) must be exactly 0, not 0 * -inf = nan.
+        pred = MCPrediction(probs=np.array([[[0.5, 0.5, 0.0]]]))
+        assert np.isfinite(pred.predictive_entropy()).all()
+        assert pred.predictive_entropy() == pytest.approx(np.log(2))
