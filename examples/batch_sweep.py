@@ -7,9 +7,15 @@ and summarized as a table.  With ``--store`` the sweep persists every
 run's artifacts and becomes resumable — re-running the script skips
 all completed work.
 
+With ``--workers N`` every run shards its generation evaluations
+across N forked worker processes, and with ``--store`` all runs
+additionally share one cross-run evaluation cache under
+``<store>/eval_cache/`` — both are bit-identical to the plain serial
+sweep, only faster.
+
 Usage::
 
-    python examples/batch_sweep.py [--seeds 3] [--store runs/]
+    python examples/batch_sweep.py [--seeds 3] [--store runs/] [--workers 4]
 """
 
 import argparse
@@ -23,7 +29,7 @@ from repro.api import (
 )
 
 
-def build_specs(num_seeds: int) -> list:
+def build_specs(num_seeds: int, num_workers: int = 1) -> list:
     """The sweep: one spec per (model, seed) cell."""
     base = ExperimentSpec(
         model="lenet_slim",
@@ -31,6 +37,7 @@ def build_specs(num_seeds: int) -> list:
         image_size=16,
         dataset_size=400,
         ood_size=80,
+        num_workers=num_workers,
         train=TrainSpec(epochs=4),
         search=SearchSpec(
             aims=("accuracy", "latency"),
@@ -49,10 +56,14 @@ def main() -> None:
     parser.add_argument("--seeds", type=int, default=2,
                         help="number of seeds to sweep (default: 2)")
     parser.add_argument("--store", default=None,
-                        help="artifact-store root; enables resume")
+                        help="artifact-store root; enables resume and "
+                             "the shared cross-run evaluation cache")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="evaluation worker processes per run "
+                             "(bit-identical to serial; default: 1)")
     args = parser.parse_args()
 
-    specs = build_specs(args.seeds)
+    specs = build_specs(args.seeds, num_workers=args.workers)
     print(f"sweeping {len(specs)} experiments "
           f"({'persisted to ' + args.store if args.store else 'in memory'})")
     results = run_experiments(specs, store_root=args.store)

@@ -28,7 +28,12 @@ The legacy :class:`repro.flow.DropoutSearchFlow` remains as a thin
 deprecated shim over these stages.
 """
 
-from repro.api.artifacts import ARTIFACT_VERSION, ArtifactError, ArtifactStore
+from repro.api.artifacts import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ArtifactStore,
+    EvaluationCache,
+)
 from repro.api.pipeline import Pipeline
 from repro.api.runner import (
     ExperimentResult,
@@ -62,6 +67,7 @@ __all__ = [
     "AcceleratorSpec",
     "ArtifactError",
     "ArtifactStore",
+    "EvaluationCache",
     "EvolutionSpec",
     "ExperimentResult",
     "ExperimentSpec",

@@ -12,14 +12,23 @@ Stores nest: ``store.subdir(run_id)`` scopes one experiment's
 artifacts under its own directory, which is how
 :class:`repro.api.runner.Runner` keys resumable runs on the spec
 fingerprint.
+
+The :class:`EvaluationCache` complements the per-run store with a
+*cross-run*, content-addressed cache of candidate evaluations: entries
+are keyed by a context fingerprint (everything that determines an
+evaluation's result — see
+:meth:`repro.api.spec.ExperimentSpec.evaluation_fingerprint`) plus the
+candidate's configuration string, so any number of runs sharing one
+store root reuse each other's evaluations instead of recomputing them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -165,4 +174,111 @@ class ArtifactStore:
                                 f"{self.root}") from None
 
 
-__all__ = ["ARTIFACT_VERSION", "ArtifactError", "ArtifactStore"]
+#: Version stamped into every evaluation-cache entry envelope.
+EVALUATION_CACHE_VERSION = 1
+
+#: Store-root subdirectory holding the shared evaluation cache.
+EVALUATION_CACHE_DIRNAME = "eval_cache"
+
+
+class EvaluationCache:
+    """Content-addressed, disk-persistent cache of candidate evaluations.
+
+    Each entry is one JSON file named after the SHA-256 of its
+    ``(context, name)`` key, sharded into two-hex-digit subdirectories
+    (``<root>/ab/abcdef....json``) so directories stay small under
+    large sweeps.  ``context`` is the evaluation fingerprint of the
+    producing experiment and ``name`` the candidate's configuration
+    string; identical keys always map to identical results, which is
+    what makes the cache safe to share across runs and processes.
+
+    Robustness contract (crash recovery): writes are atomic (temp file
+    + rename), and :meth:`get` treats *any* unreadable, torn or
+    mismatched entry as a miss — a crashed writer can never poison
+    later runs, at worst it costs one re-evaluation.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    def __repr__(self) -> str:
+        return f"EvaluationCache({self.root!r})"
+
+    @staticmethod
+    def key(context: str, name: str) -> str:
+        """Content address of the ``(context, name)`` pair."""
+        digest = hashlib.sha256()
+        digest.update(str(context).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(name).encode("utf-8"))
+        return digest.hexdigest()
+
+    def path(self, context: str, name: str) -> str:
+        """Absolute file path of the entry for ``(context, name)``."""
+        key = self.key(context, name)
+        return os.path.join(self.root, key[:2], key + _JSON_SUFFIX)
+
+    def get(self, context: str, name: str) -> Optional[Any]:
+        """Load the payload for ``(context, name)``; None on any miss.
+
+        Misses include absent files, torn/corrupt JSON, unsupported
+        envelopes and key mismatches — the cache never raises on reads.
+        """
+        path = self.path(context, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(document, dict)
+                or document.get("cache_version") != EVALUATION_CACHE_VERSION
+                or document.get("context") != context
+                or document.get("name") != name
+                or "payload" not in document):
+            return None
+        return document["payload"]
+
+    def put(self, context: str, name: str, payload: Any) -> str:
+        """Atomically persist ``payload`` under ``(context, name)``."""
+        path = self.path(context, name)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        document = {
+            "cache_version": EVALUATION_CACHE_VERSION,
+            "context": context,
+            "name": name,
+            "payload": payload,
+        }
+        text = json.dumps(document, indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write((text + "\n").encode("utf-8"))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of entry files currently on disk."""
+        if not os.path.isdir(self.root):
+            return 0
+        count = 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(1 for entry in os.listdir(shard_dir)
+                             if entry.endswith(_JSON_SUFFIX))
+        return count
+
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactStore",
+    "EVALUATION_CACHE_DIRNAME",
+    "EVALUATION_CACHE_VERSION",
+    "EvaluationCache",
+]

@@ -9,10 +9,15 @@ whose artifacts already exist.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.api.artifacts import ArtifactStore
+from repro.api.artifacts import (
+    EVALUATION_CACHE_DIRNAME,
+    ArtifactStore,
+    EvaluationCache,
+)
 from repro.api.pipeline import Pipeline
 from repro.api.spec import ExperimentSpec
 from repro.api.stages import PipelineContext
@@ -30,8 +35,12 @@ def summary_rows(search_results: Dict[str, SearchResult],
                  ) -> List[Dict[str, object]]:
     """One row per searched aim: config, metrics, latency, cost.
 
-    Shared by :meth:`ExperimentResult.summary` and the legacy
-    :meth:`repro.flow.DropoutSearchFlow.summary`.
+    The cost columns split the evaluator's work: ``evaluations``
+    (fresh computations, an alias of ``cache_misses``) plus
+    ``cache_hits`` (requests answered from the memo or disk caches),
+    so resumed and cache-warmed runs report their true budget instead
+    of under-counting.  Shared by :meth:`ExperimentResult.summary` and
+    the legacy :meth:`repro.flow.DropoutSearchFlow.summary`.
     """
     rows: List[Dict[str, object]] = []
     for aim_name, result in search_results.items():
@@ -45,6 +54,8 @@ def summary_rows(search_results: Dict[str, SearchResult],
             "latency_ms": result.best.latency_ms,
             "search_seconds": search_seconds.get(aim_name),
             "evaluations": result.num_evaluations,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
         })
     return rows
 
@@ -130,7 +141,14 @@ class Runner:
             store = ArtifactStore(store_root)
         self.spec = spec
         run_store = store.subdir(spec.run_id) if store is not None else None
-        self.ctx = PipelineContext(spec=spec, store=run_store)
+        # The evaluation cache lives at the store *root*, beside the
+        # per-run directories, so every run sharing the root — across
+        # names, sweeps and processes — reuses one evaluation pool.
+        eval_cache = (EvaluationCache(os.path.join(
+            store.root, EVALUATION_CACHE_DIRNAME))
+            if store is not None else None)
+        self.ctx = PipelineContext(spec=spec, store=run_store,
+                                   eval_cache=eval_cache)
         self.pipeline = pipeline or Pipeline.default()
 
     def run(self) -> ExperimentResult:

@@ -292,6 +292,7 @@ class ExperimentSpec:
     ood_size: int = 200
     mc_samples: int = 3
     engine: str = "batched"
+    num_workers: int = 1
     dropout_p: float = 0.15
     masksembles_scale: float = 1.7
     num_masks: int = 4
@@ -318,6 +319,7 @@ class ExperimentSpec:
             check_positive_int(self.dataset_size, "dataset_size")
             check_positive_int(self.ood_size, "ood_size")
             check_positive_int(self.mc_samples, "mc_samples")
+            check_positive_int(self.num_workers, "num_workers")
             check_positive_int(self.num_masks, "num_masks")
             check_positive_int(self.block_size, "block_size")
             if self.image_size is not None:
@@ -356,6 +358,7 @@ class ExperimentSpec:
             "ood_size": self.ood_size,
             "mc_samples": self.mc_samples,
             "engine": self.engine,
+            "num_workers": self.num_workers,
             "dropout_p": self.dropout_p,
             "masksembles_scale": self.masksembles_scale,
             "num_masks": self.num_masks,
@@ -416,26 +419,61 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # Identity / derived configuration
     # ------------------------------------------------------------------
-    def fingerprint(self) -> str:
-        """SHA-256 over the canonical JSON form, minus presentation.
+    def _result_relevant_payload(self) -> Dict[str, Any]:
+        """The spec fields that can influence computed results.
 
-        The display name and the ``generate`` section are excluded:
-        they select what to emit, not what to compute, so changing the
-        generation target (or toggling emission) still resumes from the
-        persisted train/search artifacts.  The ``engine`` field is
-        excluded too: the batched and looped MC engines are
-        bit-identical (see :mod:`repro.bayes.mc`), so switching engines
-        changes how results are computed, never what they are — the
-        same artifacts remain valid.  The fingerprint forms the tail of
-        :attr:`run_id`, which keys resumable runs in the store.
+        Single source of truth for both identity hashes: drops the
+        display ``name`` and the ``generate`` section (they select what
+        to emit, not what to compute) and the ``engine``/``num_workers``
+        execution knobs (the MC engines and the process-pool evaluation
+        path are bit-identical to their references — see
+        :mod:`repro.bayes.mc` and :mod:`repro.search.parallel` — so
+        they change how results are computed, never what they are).
+        A field excluded here must be excluded from *both* hashes;
+        keeping one exclusion list prevents the resume key and the
+        evaluation-cache key from silently desynchronizing.
         """
         payload = self.to_dict()
         payload.pop("name")
         payload.pop("generate")
         payload.pop("engine")
+        payload.pop("num_workers")
+        return payload
+
+    @staticmethod
+    def _hash_payload(payload: Dict[str, Any]) -> str:
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the result-relevant canonical JSON form.
+
+        Hashes exactly :meth:`_result_relevant_payload` (see there for
+        what is excluded and why), so a run may change its name,
+        generation target, engine or worker count and still resume its
+        persisted train/search artifacts.  The fingerprint forms the
+        tail of :attr:`run_id`, which keys resumable runs in the store.
+        """
+        return self._hash_payload(self._result_relevant_payload())
+
+    def evaluation_fingerprint(self) -> str:
+        """Content key of a single candidate evaluation's inputs.
+
+        Keys the cross-run :class:`repro.api.artifacts.EvaluationCache`:
+        two specs share cache entries exactly when every field that can
+        influence an evaluated candidate's result agrees.  On top of
+        the :meth:`_result_relevant_payload` exclusions, the ``search``
+        section's aim list and EA hyper-parameters are dropped: they
+        decide *which* candidates get evaluated, never what any one
+        evaluation returns, so e.g. a budget sweep reuses one shared
+        cache.  ``search.use_gp_cost_model`` *is* retained — it
+        changes the latency oracle and therefore the cached numbers.
+        """
+        payload = self._result_relevant_payload()
+        payload.pop("search")
+        payload["use_gp_cost_model"] = self.search.use_gp_cost_model
+        return self._hash_payload(payload)
 
     @property
     def run_id(self) -> str:

@@ -14,7 +14,7 @@ Artifact layout of a run directory::
     train_log.json             # TrainLog round-trip
     supernet_weights.npz       # trained shared weights
     search_<aim>.json          # SearchResult round-trip + wall seconds
-    evaluations.json           # memoized evaluator cache dump
+    evaluations_v2.json        # memoized evaluator cache dump
     design_<config>.json       # SynthesisReport.to_dict + emitted files
 """
 
@@ -24,7 +24,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.api.artifacts import ArtifactStore
+from repro.api.artifacts import ArtifactStore, EvaluationCache
 from repro.api.spec import ExperimentSpec
 from repro.bayes.evaluate import AlgorithmicReport
 from repro.data import (
@@ -85,6 +85,9 @@ class PipelineContext:
     #: (now an alias of this class) working.
     spec: ExperimentSpec = field(default_factory=ExperimentSpec)
     store: Optional[ArtifactStore] = None
+    #: Cross-run candidate-evaluation cache shared by every run under
+    #: one store root (set by the Runner; None disables disk reuse).
+    eval_cache: Optional[EvaluationCache] = None
     #: Explicit accelerator-config override (legacy flow path); when
     #: None the spec's accelerator section (or preset) is resolved.
     accel_override: Optional[AcceleratorConfig] = None
@@ -139,9 +142,16 @@ def ensure_evaluator(ctx: PipelineContext,
     The evaluator scores whole EA generations through the shared
     supernet with the MC engine the spec selects (``spec.engine``;
     batched by default, with the looped engine as the bit-identical
-    reference oracle).  When the context has a store with a persisted
-    evaluation cache, the cache is preloaded so resumed runs skip
-    re-evaluating candidates.
+    reference oracle), sharded across ``spec.num_workers`` forked
+    worker processes when more than one is requested.  Every candidate
+    is evaluated under a deterministic per-candidate mask-plan seed
+    derived from the spec seed, so results are independent of
+    evaluation order, worker count and resume history.  When the
+    context has a store with a persisted evaluation cache, the cache
+    is preloaded, and when the Runner installed a cross-run
+    :class:`~repro.api.artifacts.EvaluationCache` the evaluator reads
+    and writes it keyed by the spec's evaluation fingerprint — so
+    repeated or related runs skip re-evaluating candidates.
     """
     if ctx.evaluator is None:
         if use_gp_cost_model:
@@ -153,7 +163,11 @@ def ensure_evaluator(ctx: PipelineContext,
             ctx.supernet, ctx.splits.val, ctx.ood,
             latency_fn=latency_fn,
             num_mc_samples=ctx.spec.mc_samples,
-            engine=ctx.spec.engine)
+            engine=ctx.spec.engine,
+            eval_seed=derive_seed(ctx.spec.seed, 9),
+            disk_cache=ctx.eval_cache,
+            cache_context=ctx.spec.evaluation_fingerprint(),
+            num_workers=ctx.spec.num_workers)
         if ctx.store is not None and ctx.store.has(SearchStage.CACHE):
             cached = [CandidateResult.from_dict(entry)
                       for entry in ctx.store.load_json(SearchStage.CACHE)]
@@ -327,7 +341,15 @@ class SearchStage(Stage):
     """
 
     name = "search"
-    CACHE = "evaluations"
+    #: The "_v2" suffix versions the evaluation *semantics*: v1 entries
+    #: were computed under order-stateful mask streams, v2 entries under
+    #: the per-candidate eval_seed contract.  Preloading v1 entries into
+    #: a v2 evaluator would yield hybrid search results reproducible
+    #: under neither semantics, so old dumps are deliberately ignored
+    #: (their candidates are simply re-evaluated); completed per-aim
+    #: search artifacts remain valid — each is an internally consistent
+    #: finished outcome.
+    CACHE = "evaluations_v2"
 
     @staticmethod
     def artifact_name(aim_name: str) -> str:

@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact-store root directory (default: runs)")
     p_run.add_argument("--no-store", action="store_true",
                        help="run fully in memory (no artifacts, no resume)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="evaluation worker processes (overrides the "
+                            "spec's num_workers; results are bit-identical "
+                            "for every worker count)")
     p_run.add_argument("--json", action="store_true", dest="as_json",
                        help="print the full result digest as JSON")
 
@@ -86,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="aim presets to search (default: all four)")
     p_search.add_argument("--population", type=int, default=12)
     p_search.add_argument("--generations", type=int, default=6)
+    p_search.add_argument(
+        "--workers", type=int, default=1,
+        help="evaluation worker processes (default: 1; results are "
+             "bit-identical for every worker count)")
     p_search.add_argument(
         "--store", default=None,
         help="optional artifact-store root; enables resume")
@@ -122,6 +130,8 @@ def _spec_from_args(args: argparse.Namespace, *,
         model=args.model, dataset=args.dataset,
         image_size=args.image_size, dataset_size=args.dataset_size,
         seed=args.seed,
+        num_workers=(args.workers if getattr(args, "workers", None)
+                     is not None else 1),
         train=TrainSpec(epochs=args.epochs),
         search=SearchSpec(aims=tuple(aims) if aims else ("accuracy",),
                           evolution=evolution))
@@ -150,11 +160,17 @@ def _print_summary_rows(rows) -> None:
               f"acc={row['accuracy_pct']:5.1f}% "
               f"ECE={row['ece_pct']:5.2f}% "
               f"aPE={row['ape_nats']:5.3f} "
-              f"lat={row['latency_ms']:.3f}ms{cost}")
+              f"lat={row['latency_ms']:.3f}ms{cost} "
+              f"evals={row['cache_misses']}+{row['cache_hits']}cached")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
+    if args.workers is not None:
+        # num_workers is fingerprint-excluded (the pooled path is
+        # bit-identical to serial), so the override still resumes the
+        # spec's persisted artifacts.
+        spec = spec.with_updates(num_workers=args.workers)
     runner = Runner(spec,
                     store_root=None if args.no_store else args.store)
     result = runner.run()

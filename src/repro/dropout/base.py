@@ -127,6 +127,22 @@ class DropoutLayer(Module):
         """Rewind the sample counter (start a fresh MC estimate)."""
         self._sample_index = 0
 
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the layer's random stream and rewind the counter.
+
+        This makes the *next* Monte-Carlo estimate a pure function of
+        ``seed`` (given the input), independent of how much randomness
+        the layer consumed before — the hook the candidate evaluator
+        uses to give every evaluated configuration its own canonical
+        mask-plan stream, so evaluation results do not depend on
+        evaluation order, process boundaries or resume history.
+        Subclasses with derived random state (e.g. the Masksembles mask
+        family) additionally drop that state so it regenerates from the
+        new stream.
+        """
+        self.rng = new_rng(seed)
+        self.reset_samples()
+
     def sample_masks(self, num_samples: int, shape) -> np.ndarray:
         """Draw the masks of ``num_samples`` Monte-Carlo passes at once.
 

@@ -135,6 +135,18 @@ class Masksembles(DropoutLayer):
         self._masks: Optional[np.ndarray] = None
         self._num_features: Optional[int] = None
 
+    def reseed(self, seed: SeedLike) -> None:
+        """Reseed and drop the cached family so it regenerates.
+
+        The family is derived state of the random stream: keeping the
+        old masks alongside a new stream would make the layer's output
+        depend on *when* the family happened to be generated.  Clearing
+        it makes the next forward a pure function of ``seed``.
+        """
+        super().reseed(seed)
+        self._masks = None
+        self._num_features = None
+
     def masks_for(self, num_features: int) -> np.ndarray:
         """Return (generating on first use) masks for ``num_features``."""
         if self._masks is None or self._num_features != num_features:

@@ -30,6 +30,7 @@ from repro.search.multiobjective import (
     MultiObjectiveResult,
     MultiObjectiveSearch,
 )
+from repro.search.parallel import ParallelEvaluator
 from repro.search.objective import (
     ACCURACY_OPTIMAL,
     AIM_PRESETS,
@@ -76,6 +77,7 @@ __all__ = [
     "BatchedEvaluator",
     "MultiObjectiveResult",
     "MultiObjectiveSearch",
+    "ParallelEvaluator",
     "CandidateEvaluator",
     "CandidateResult",
     "ConstrainedAim",

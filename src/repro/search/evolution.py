@@ -61,9 +61,38 @@ class EvolutionConfig:
                        inclusive_high=True)
 
 
+def _requests_so_far(evaluator) -> int:
+    """Total evaluation requests an evaluator has served so far.
+
+    Memoizing evaluators expose ``num_requests`` (cache hits plus
+    misses) — the honest budget measure, which keeps trajectories and
+    Table-2 cost rows accurate on resumed/cache-warmed runs where the
+    miss count alone under-reports.  Plain evaluators fall back to
+    their ``num_evaluations`` counter.
+    """
+    requests = getattr(evaluator, "num_requests", None)
+    if requests is not None:
+        return int(requests)
+    return int(evaluator.num_evaluations)
+
+
+def _cache_counts(evaluator):
+    """``(cache_hits, cache_misses)`` with plain-evaluator fallbacks."""
+    hits = int(getattr(evaluator, "cache_hits", 0))
+    misses = int(getattr(evaluator, "cache_misses",
+                         evaluator.num_evaluations))
+    return hits, misses
+
+
 @dataclass
 class GenerationStats:
-    """Per-generation progress record."""
+    """Per-generation progress record.
+
+    ``evaluations_so_far`` counts evaluation *requests* (cache hits
+    plus fresh computations) made by this search since it started —
+    the budget it consumed, which stays truthful when caches answer
+    part of the work and when the evaluator is shared across runs.
+    """
 
     generation: int
     best_score: float
@@ -96,12 +125,23 @@ class GenerationStats:
 
 @dataclass
 class SearchResult:
-    """Outcome of one evolutionary search run."""
+    """Outcome of one evolutionary search run.
+
+    ``num_evaluations`` counts fresh computations (an alias of
+    ``cache_misses``, kept for backward compatibility);
+    ``cache_hits``/``cache_misses`` split *this run's* evaluation
+    requests between cache-served and freshly computed, so resumed or
+    cache-warmed runs report their true cost.  All three are deltas
+    over the run — evaluators shared across searches (multi-aim specs)
+    do not leak one aim's cost into another's result.
+    """
 
     best: CandidateResult
     best_score: float
     history: List[GenerationStats] = field(default_factory=list)
     num_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def best_config(self) -> DropoutConfig:
@@ -115,6 +155,8 @@ class SearchResult:
             "best_score": float(self.best_score),
             "history": [stats.to_dict() for stats in self.history],
             "num_evaluations": int(self.num_evaluations),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
         }
 
     @classmethod
@@ -127,6 +169,13 @@ class SearchResult:
             history=[GenerationStats.from_dict(h)
                      for h in data.get("history", [])],
             num_evaluations=int(data.get("num_evaluations", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            # Pre-split artifacts carry only num_evaluations, which
+            # counted exactly the misses — default to it so the
+            # num_evaluations == cache_misses invariant survives
+            # deserialization of old records.
+            cache_misses=int(data.get(
+                "cache_misses", data.get("num_evaluations", 0))),
         )
 
 
@@ -241,6 +290,10 @@ class EvolutionarySearch:
         proposed = set(population)
         history: List[GenerationStats] = []
         best: Optional[Tuple[float, CandidateResult]] = None
+        # Counter snapshots: evaluators are shared across searches (all
+        # aims of a spec reuse one memoized evaluator), so this run's
+        # cost is the *delta* over the run, not the cumulative totals.
+        start_hits, start_misses = _cache_counts(self.evaluator)
 
         evaluate_generation = getattr(
             self.evaluator, "evaluate_generation", None)
@@ -263,7 +316,8 @@ class EvolutionarySearch:
                 best_score=scored[0][0],
                 mean_score=float(np.mean([s for s, _ in scored])),
                 best_config=scored[0][1].config,
-                evaluations_so_far=self.evaluator.num_evaluations,
+                evaluations_so_far=(_requests_so_far(self.evaluator)
+                                    - start_hits - start_misses),
             ))
 
             num_parents = max(1, int(round(
@@ -294,11 +348,14 @@ class EvolutionarySearch:
             population = next_population
 
         assert best is not None  # generations >= 1
+        hits, misses = _cache_counts(self.evaluator)
         return SearchResult(
             best=best[1],
             best_score=best[0],
             history=history,
-            num_evaluations=self.evaluator.num_evaluations,
+            num_evaluations=misses - start_misses,
+            cache_hits=hits - start_hits,
+            cache_misses=misses - start_misses,
         )
 
 
@@ -313,18 +370,30 @@ def random_search(evaluator: CandidateEvaluator, aim: SearchAim, *,
     space = evaluator.supernet.space
     best: Optional[Tuple[float, CandidateResult]] = None
     history: List[GenerationStats] = []
+    score_sum = 0.0
+    start_hits, start_misses = _cache_counts(evaluator)
     for i in range(num_evaluations):
         result = evaluator.evaluate(space.sample(rng))
         score = result.aim_score(aim)
+        score_sum += score
         if best is None or score > best[0]:
             best = (score, result)
         history.append(GenerationStats(
             generation=i,
             best_score=best[0],
-            mean_score=score,
+            # The running mean over the evaluation window so far — the
+            # population-mean analogue the EA records, making the
+            # EA-vs-random trajectories (ablation A3) comparable.  A
+            # point sample here would pit the EA's population mean
+            # against single-candidate noise.
+            mean_score=score_sum / (i + 1),
             best_config=best[1].config,
-            evaluations_so_far=evaluator.num_evaluations,
+            evaluations_so_far=(_requests_so_far(evaluator)
+                                - start_hits - start_misses),
         ))
     assert best is not None
+    hits, misses = _cache_counts(evaluator)
     return SearchResult(best=best[1], best_score=best[0], history=history,
-                        num_evaluations=evaluator.num_evaluations)
+                        num_evaluations=misses - start_misses,
+                        cache_hits=hits - start_hits,
+                        cache_misses=misses - start_misses)

@@ -20,7 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.search.evaluator import CandidateEvaluator, CandidateResult
-from repro.search.evolution import EvolutionConfig
+from repro.search.evolution import EvolutionConfig, _cache_counts
 from repro.search.exhaustive import METRIC_DIRECTIONS
 from repro.search.pareto import pareto_mask
 from repro.search.space import DropoutConfig, SearchSpace
@@ -152,6 +152,9 @@ class MultiObjectiveSearch:
     def run(self) -> MultiObjectiveResult:
         """Execute the search and return the final non-dominated set."""
         cfg = self.config
+        # Shared evaluators accumulate across searches; report this
+        # run's fresh-evaluation delta, as the single-aim searches do.
+        _, start_misses = _cache_counts(self.evaluator)
         population: List[DropoutConfig] = []
         seen = set()
         if cfg.seed_uniform:
@@ -195,6 +198,7 @@ class MultiObjectiveSearch:
         return MultiObjectiveResult(
             front=front,
             metrics=self.metrics,
-            num_evaluations=self.evaluator.num_evaluations,
+            num_evaluations=(_cache_counts(self.evaluator)[1]
+                             - start_misses),
             generations=cfg.generations,
         )

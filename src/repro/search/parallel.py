@@ -1,0 +1,124 @@
+"""Process-parallel candidate evaluation (the search-phase fast path).
+
+The paper's search cost is dominated by candidate evaluation; the
+batched MC engine made each candidate cheap, and this module removes
+the remaining serialization *across* a generation: the cache-miss
+candidates of one EA generation are sharded over ``num_workers``
+forked worker processes, mirroring how FPGA BNN accelerators amortize
+Monte-Carlo cost over parallel hardware lanes.
+
+Design notes:
+
+* **Fork, not spawn.**  Workers are forked per generation, so they
+  inherit the parent's trained supernet weights, datasets and fitted
+  latency model copy-on-write — nothing is pickled on the way in, only
+  the small :class:`~repro.search.evaluator.CandidateResult` records
+  travel back.  On platforms without ``fork`` (Windows),
+  :meth:`ParallelEvaluator.available` is False and callers fall back
+  to the serial path.
+* **Bit-identical by construction.**  The evaluator's per-candidate
+  ``eval_seed`` reseeding makes every evaluation a pure function of
+  the configuration, so shard boundaries, worker count and completion
+  order cannot change a single bit of any result — the property the
+  equivalence suite (``tests/test_parallel_eval.py``) enforces.
+* **Caches stay in the parent.**  Workers only *compute*; the parent
+  merges results into the memo cache and writes the disk cache, so
+  there are no concurrent writers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence
+
+from repro.search.evaluator import CandidateEvaluator, CandidateResult
+from repro.search.space import DropoutConfig
+from repro.utils.validation import check_positive_int
+
+#: Fork-inherited handle the pooled workers evaluate through.  Set by
+#: the parent immediately before forking; never used across threads.
+_PARENT_EVALUATOR: Optional[CandidateEvaluator] = None
+
+
+def _evaluate_shard(shard: Sequence[DropoutConfig]
+                    ) -> List[CandidateResult]:
+    """Worker entry point: compute one shard of configurations.
+
+    Runs in a forked child, so ``_PARENT_EVALUATOR`` is the parent's
+    evaluator object (private copy-on-write copy); ``_compute``
+    reseeds per candidate, making the child's results identical to
+    what the parent would have computed inline.
+    """
+    evaluator = _PARENT_EVALUATOR
+    if evaluator is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker forked without a parent evaluator")
+    return [evaluator._compute(config) for config in shard]
+
+
+class ParallelEvaluator:
+    """Shards cache-miss candidates across forked worker processes.
+
+    Args:
+        evaluator: the parent evaluator whose ``_compute`` the workers
+            run; must carry an ``eval_seed`` (enforced here and by
+            :class:`~repro.search.evaluator.BatchedEvaluator`).
+        num_workers: maximum worker processes; the pool never spawns
+            more workers than it has candidates.
+    """
+
+    def __init__(self, evaluator: CandidateEvaluator, *,
+                 num_workers: int) -> None:
+        check_positive_int(num_workers, "num_workers")
+        if evaluator.eval_seed is None:
+            raise ValueError(
+                "ParallelEvaluator requires an evaluator with eval_seed "
+                "set; see the determinism contract in repro.search."
+                "evaluator")
+        self.evaluator = evaluator
+        self.num_workers = int(num_workers)
+
+    @staticmethod
+    def available() -> bool:
+        """True when the fork start method exists on this platform."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def shard(self, configs: Sequence[DropoutConfig]
+              ) -> List[List[DropoutConfig]]:
+        """Split ``configs`` into contiguous, near-equal worker shards."""
+        workers = min(self.num_workers, len(configs))
+        base, extra = divmod(len(configs), workers)
+        shards: List[List[DropoutConfig]] = []
+        start = 0
+        for index in range(workers):
+            size = base + (1 if index < extra else 0)
+            shards.append(list(configs[start:start + size]))
+            start += size
+        return shards
+
+    def evaluate(self, configs: Sequence[DropoutConfig]
+                 ) -> List[CandidateResult]:
+        """Evaluate ``configs`` across the pool, preserving input order.
+
+        Falls back to inline evaluation for degenerate inputs (one
+        candidate, one worker) where forking would only add overhead.
+        """
+        global _PARENT_EVALUATOR
+        configs = [tuple(config) for config in configs]
+        if len(configs) <= 1 or self.num_workers <= 1:
+            return [self.evaluator._compute(config) for config in configs]
+        shards = self.shard(configs)
+        context = multiprocessing.get_context("fork")
+        _PARENT_EVALUATOR = self.evaluator
+        try:
+            with context.Pool(processes=len(shards)) as pool:
+                shard_results = pool.map(_evaluate_shard, shards)
+        finally:
+            _PARENT_EVALUATOR = None
+        by_config = {}
+        for shard, results in zip(shards, shard_results):
+            for config, result in zip(shard, results):
+                by_config[config] = result
+        return [by_config[config] for config in configs]
+
+
+__all__ = ["ParallelEvaluator"]

@@ -147,6 +147,44 @@ class TestIdentity:
                                                  outdir="elsewhere"))
         assert a.fingerprint() == b.fingerprint()
 
+    def test_fingerprint_ignores_num_workers(self):
+        # The pooled evaluation path is bit-identical to serial, so a
+        # worker-count change must still resume persisted artifacts.
+        a = ExperimentSpec(seed=5, num_workers=1)
+        b = ExperimentSpec(seed=5, num_workers=4)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.evaluation_fingerprint() == b.evaluation_fingerprint()
+
+    def test_evaluation_fingerprint_ignores_search_plan(self):
+        # Which candidates get evaluated is the search plan's business;
+        # what one evaluation returns is not — budget sweeps share the
+        # cross-run cache.
+        a = ExperimentSpec(seed=5, search=SearchSpec(
+            aims=("accuracy",),
+            evolution=EvolutionSpec(population_size=4, generations=2)))
+        b = ExperimentSpec(seed=5, search=SearchSpec(
+            aims=("accuracy", "latency"),
+            evolution=EvolutionSpec(population_size=16, generations=8)))
+        assert a.fingerprint() != b.fingerprint()
+        assert a.evaluation_fingerprint() == b.evaluation_fingerprint()
+
+    def test_evaluation_fingerprint_tracks_latency_oracle(self):
+        # use_gp_cost_model changes cached latencies, so it must split
+        # the cache even though the rest of the search section does not.
+        a = ExperimentSpec(seed=5, search=SearchSpec(
+            use_gp_cost_model=True))
+        b = ExperimentSpec(seed=5, search=SearchSpec(
+            use_gp_cost_model=False))
+        assert a.evaluation_fingerprint() != b.evaluation_fingerprint()
+
+    def test_evaluation_fingerprint_tracks_content(self):
+        assert (ExperimentSpec(seed=1).evaluation_fingerprint()
+                != ExperimentSpec(seed=2).evaluation_fingerprint())
+
+    def test_invalid_num_workers_rejected(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(num_workers=0)
+
     def test_with_updates(self):
         spec = ExperimentSpec(name="base", seed=0)
         other = spec.with_updates(seed=9)

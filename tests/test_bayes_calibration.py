@@ -57,6 +57,56 @@ class TestReliabilityDiagram:
         with pytest.raises(ValueError):
             reliability_diagram(np.zeros((0, 2)), np.array([], dtype=int))
 
+
+class TestEdgeBinAssignment:
+    """Regression pins for the digitize() edge cases (ISSUE 3).
+
+    Saturated confidences must land in the diagram, not fall off its
+    ends: confidence 1.0 belongs to the *last* bin, confidence 0.0 to
+    the *first*, and a single-bin diagram holds everything.
+    """
+
+    @pytest.mark.parametrize("num_bins", [1, 2, 7, 10])
+    def test_confidence_one_lands_in_last_bin(self, num_bins):
+        probs = np.array([[1.0, 0.0]])
+        bins = reliability_diagram(probs, np.array([0]),
+                                   num_bins=num_bins)
+        counts = [b.count for b in bins]
+        assert counts[-1] == 1
+        assert sum(counts) == 1
+        assert bins[-1].upper == pytest.approx(1.0)
+        assert bins[-1].mean_confidence == pytest.approx(1.0)
+        assert bins[-1].mean_accuracy == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("num_bins", [1, 2, 7, 10])
+    def test_confidence_zero_lands_in_first_bin(self, num_bins):
+        # A zero confidence requires a degenerate all-zero row; the
+        # diagram must still file it under the first bin rather than
+        # dropping it or wrapping around.
+        probs = np.array([[0.0, 0.0]])
+        bins = reliability_diagram(probs, np.array([1]),
+                                   num_bins=num_bins)
+        counts = [b.count for b in bins]
+        assert counts[0] == 1
+        assert sum(counts) == 1
+        assert bins[0].lower == pytest.approx(0.0)
+
+    def test_single_bin_holds_everything(self):
+        probs = np.array([[1.0, 0.0], [0.5, 0.5], [0.0, 0.0]])
+        bins = reliability_diagram(probs, np.array([0, 0, 1]),
+                                   num_bins=1)
+        assert len(bins) == 1
+        assert bins[0].count == 3
+        assert (bins[0].lower, bins[0].upper) == (0.0, 1.0)
+
+    def test_interior_edge_follows_right_closed_convention(self):
+        # Bins are (lower, upper]: a confidence exactly on an interior
+        # edge belongs to the bin whose *upper* boundary it touches.
+        probs = np.array([[0.5, 0.5]])
+        bins = reliability_diagram(probs, np.array([0]), num_bins=10)
+        assert bins[4].count == 1          # (0.4, 0.5]
+        assert bins[5].count == 0
+
     def test_empty_diagram_raises(self):
         with pytest.raises(ValueError):
             ece_from_diagram([ReliabilityBin(0, 1, 0, 0, 0)])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.search import CandidateEvaluator, get_aim
+from repro.search import BatchedEvaluator, CandidateEvaluator, get_aim
 
 
 class TestCaching:
@@ -32,6 +32,63 @@ class TestCaching:
         ev.evaluate(("bernoulli", "b", "B"))
         ev.evaluate(("B", "B", "B"))
         assert ev.num_evaluations == 1
+
+
+class TestHitMissAccounting:
+    """Regression pins for the ISSUE-3 accounting split."""
+
+    def test_hits_and_misses_tracked_separately(self, trained_supernet,
+                                                mnist_splits, ood_small):
+        ev = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                ood_small, num_mc_samples=2)
+        ev.evaluate(("B", "B", "B"))
+        ev.evaluate(("B", "B", "B"))
+        ev.evaluate(("M", "M", "M"))
+        assert ev.cache_misses == 2
+        assert ev.cache_hits == 1
+        assert ev.num_evaluations == ev.cache_misses
+        assert ev.num_requests == 3
+
+    def test_preloaded_entries_surface_as_hits(self, trained_supernet,
+                                               mnist_splits, ood_small):
+        source = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                    ood_small, num_mc_samples=2)
+        source.evaluate(("B", "B", "B"))
+        warmed = CandidateEvaluator(trained_supernet, mnist_splits.val,
+                                    ood_small, num_mc_samples=2)
+        assert warmed.preload(source.cache.values()) == 1
+        # Preloading alone touches no counter…
+        assert warmed.cache_hits == 0 and warmed.cache_misses == 0
+        # …but a request served from the preloaded entry is a hit, so
+        # resumed runs no longer report zero cost (the old bug).
+        warmed.evaluate(("B", "B", "B"))
+        assert warmed.cache_hits == 1
+        assert warmed.cache_misses == 0
+        assert warmed.num_requests == 1
+
+    def test_all_hit_generation_not_counted(self, trained_supernet,
+                                            mnist_splits, ood_small):
+        ev = BatchedEvaluator(trained_supernet, mnist_splits.val,
+                              ood_small, num_mc_samples=2)
+        generation = [("B", "B", "B"), ("M", "M", "M")]
+        ev.evaluate_generation(generation)
+        assert ev.generations_evaluated == 1
+        # Re-scoring the same generation is pure cache traffic: the
+        # per-generation amortized-cost denominator must not move.
+        ev.evaluate_generation(generation)
+        assert ev.generations_evaluated == 1
+        assert ev.cache_hits == 2
+        assert ev.cache_misses == 2
+
+    def test_within_generation_duplicates_count_as_hits(
+            self, trained_supernet, mnist_splits, ood_small):
+        ev = BatchedEvaluator(trained_supernet, mnist_splits.val,
+                              ood_small, num_mc_samples=2)
+        results = ev.evaluate_generation(
+            [("B", "B", "B"), ("B", "B", "B"), ("B", "B", "B")])
+        assert ev.cache_misses == 1
+        assert ev.cache_hits == 2
+        assert results[0] is results[1] is results[2]
 
 
 class TestLatencyIntegration:

@@ -185,6 +185,57 @@ class TestRandomSearch:
         assert ev.num_evaluations <= 20
         assert len(result.history) == 20
 
+    def test_mean_score_is_running_mean(self):
+        """Regression (ISSUE 3): ``mean_score`` must be the running mean
+        over the evaluation window, not the latest point sample — the
+        EA-vs-random ablation compares it against the EA's population
+        mean."""
+        ev = StubEvaluator(space4())
+        aim = ACCURACY_OPTIMAL
+        result = random_search(ev, aim, num_evaluations=25, rng=11)
+
+        # Replay the identical candidate stream to recover the
+        # per-evaluation scores (the stub memoizes, so replays are free
+        # and deterministic).
+        replay_rng = np.random.default_rng(11)
+        scores = []
+        for _ in range(25):
+            candidate = ev.supernet.space.sample(replay_rng)
+            scores.append(ev.evaluate(candidate).aim_score(aim))
+        for i, stats in enumerate(result.history):
+            assert stats.mean_score == pytest.approx(
+                float(np.mean(scores[:i + 1])))
+
+    def test_mean_score_differs_from_point_sample(self):
+        """The old bug recorded history[i].mean_score == scores[i]; with
+        a varied landscape the running mean cannot track every sample."""
+        ev = StubEvaluator(space4())
+        result = random_search(ev, ACCURACY_OPTIMAL, num_evaluations=30,
+                               rng=12)
+        means = [h.mean_score for h in result.history]
+        # A running mean over i.i.d. draws contracts: consecutive
+        # deltas shrink as 1/i, so late entries move far less than the
+        # raw score spread.  The buggy point-sample version jumps by
+        # whole score units arbitrarily late.
+        late_deltas = [abs(means[i] - means[i - 1])
+                       for i in range(20, len(means))]
+        assert max(late_deltas) < 0.5
+
+    def test_history_tracks_requests_not_just_misses(self):
+        """Duplicate draws served by the memo cache still consume
+        budget: the trajectory x-axis must advance every evaluation."""
+        space = SearchSpace([SlotSpec("s0", "conv", ("B", "M"))])
+        ev = StubEvaluator(space)
+        result = random_search(ev, ACCURACY_OPTIMAL, num_evaluations=12,
+                               rng=13)
+        # Two configurations exist, so the stub computes at most twice…
+        assert ev.num_evaluations <= 2
+        # …while a request-aware evaluator would report 12; the stub
+        # lacks hit counters, so the fallback is the miss count, which
+        # must at least be non-decreasing and match the final record.
+        xs = [h.evaluations_so_far for h in result.history]
+        assert xs == sorted(xs)
+
     def test_best_never_decreases(self):
         ev = StubEvaluator(space4())
         result = random_search(ev, ACCURACY_OPTIMAL, num_evaluations=30,
