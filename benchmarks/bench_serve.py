@@ -1,0 +1,166 @@
+"""Serving throughput — coalesced micro-batching vs. 1-request-per-batch.
+
+The serving claim of :mod:`repro.serve`: the fixed cost of a fused
+``T``-sample MC-dropout pass (mask planning, dispatch, GEMM setup)
+amortizes over coalesced rows, so micro-batching concurrent requests
+multiplies request throughput over serving each request in its own
+batch.  This bench is the load generator: a swarm of concurrent
+single-image requests is driven through :class:`UncertaintyService`
+twice — once with ``max_batch_rows=1`` (one request per fused batch,
+the no-coalescing baseline) and once with coalescing enabled — on the
+LeNet workload at the paper's ``T = 3``, and emits a machine-readable
+``BENCH_serve.json`` record (throughput req/s, coalesce ratio, latency
+percentiles).
+
+Assertions:
+
+* serving is **bit-identical** to direct ``mc_predict`` calls in the
+  1-per-batch scenario (the load path answers the same posteriors the
+  equivalence suite pins);
+* coalesced serving beats 1-per-batch throughput (CI smoke gate);
+* at full scale, coalesced reaches at least 2x — the PR's acceptance
+  bar — with a coalesce ratio above 2 requests per fused batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.serve import Deployment, UncertaintyService
+
+#: Paper-style hybrid configuration on LeNet's three slots.
+CONFIG = ("B", "K", "M")
+
+#: Monte-Carlo passes — the paper's T and the acceptance gate's.
+NUM_SAMPLES = 3
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    """LeNet deployment + request swarm + scenario parameters."""
+    smoke = bool(request.config.getoption("--bench-smoke"))
+    image_size = 16 if smoke else 28
+    num_requests = 24 if smoke else 96
+    batch_rows = 8 if smoke else 16
+    spec = ExperimentSpec(
+        name="bench-serve", model="lenet", dataset="mnist_like",
+        image_size=image_size, mc_samples=NUM_SAMPLES, seed=1)
+    deployment = Deployment.from_spec(
+        spec, (1, image_size, image_size), config=CONFIG)
+    rng = np.random.default_rng(0)
+    requests = [
+        rng.normal(size=(1, 1, image_size, image_size)).astype(np.float32)
+        for _ in range(num_requests)
+    ]
+    return deployment, requests, batch_rows, smoke
+
+
+def drive(deployment: Deployment, requests: List[np.ndarray], *,
+          max_batch_rows: int) -> Dict[str, object]:
+    """Serve the whole swarm concurrently; measure wall throughput."""
+
+    async def main():
+        service = UncertaintyService(
+            deployment, max_batch_rows=max_batch_rows, max_wait_ms=2.0,
+            max_queue_rows=max(max_batch_rows, len(requests)))
+        async with service:
+            responses = await asyncio.gather(
+                *(service.predict(images) for images in requests))
+        return responses, service.stats()
+
+    started = time.perf_counter()
+    responses, stats = asyncio.run(main())
+    elapsed = time.perf_counter() - started
+    return {
+        "responses": responses,
+        "stats": stats,
+        "elapsed_s": elapsed,
+        "requests_per_s": len(requests) / elapsed,
+    }
+
+
+def test_serve_throughput(workload, bench_json, emit_table):
+    deployment, requests, batch_rows, smoke = workload
+
+    # Warm-up: allocator, BLAS pools, mask-plan code paths.
+    drive(deployment, requests[:4], max_batch_rows=1)
+
+    sequential = drive(deployment, requests, max_batch_rows=1)
+    coalesced = drive(deployment, requests, max_batch_rows=batch_rows)
+
+    # Bit-identity spot check on the load path: 1-per-batch responses
+    # equal direct per-request predictions under the reseed contract.
+    model = deployment.instantiate()
+    for images, response in list(zip(requests, sequential["responses"]))[:8]:
+        reference = deployment.predict(model, images)
+        assert np.array_equal(response.mean_probs, reference.mean_probs)
+        assert np.array_equal(response.predictive_entropy,
+                              reference.predictive_entropy())
+
+    speedup = (coalesced["requests_per_s"]
+               / sequential["requests_per_s"])
+    payload = {
+        "workload": {
+            "model": "lenet",
+            "config": "-".join(CONFIG),
+            "image_size": int(requests[0].shape[-1]),
+            "num_samples": NUM_SAMPLES,
+            "num_requests": len(requests),
+            "max_batch_rows": batch_rows,
+            "smoke": smoke,
+        },
+        "sequential": {
+            "requests_per_s": sequential["requests_per_s"],
+            "coalesce_ratio": sequential["stats"]["coalesce_ratio"],
+            "batches": sequential["stats"]["batches"],
+            "latency_p50_ms": sequential["stats"]["latency_p50_ms"],
+            "latency_p99_ms": sequential["stats"]["latency_p99_ms"],
+        },
+        "coalesced": {
+            "requests_per_s": coalesced["requests_per_s"],
+            "coalesce_ratio": coalesced["stats"]["coalesce_ratio"],
+            "batches": coalesced["stats"]["batches"],
+            "latency_p50_ms": coalesced["stats"]["latency_p50_ms"],
+            "latency_p99_ms": coalesced["stats"]["latency_p99_ms"],
+        },
+        "throughput_speedup": speedup,
+    }
+    bench_json("serve", payload)
+    emit_table(
+        "serve",
+        "Uncertainty serving throughput — coalesced micro-batching vs. "
+        "1-request-per-batch (LeNet, T={})".format(NUM_SAMPLES),
+        ["Scenario", "req/s", "Batches", "Coalesce", "p50 ms", "p99 ms"],
+        [
+            ["1-per-batch",
+             f"{sequential['requests_per_s']:.1f}",
+             sequential["stats"]["batches"],
+             f"{sequential['stats']['coalesce_ratio']:.2f}",
+             f"{sequential['stats']['latency_p50_ms']:.1f}",
+             f"{sequential['stats']['latency_p99_ms']:.1f}"],
+            ["coalesced",
+             f"{coalesced['requests_per_s']:.1f}",
+             coalesced["stats"]["batches"],
+             f"{coalesced['stats']['coalesce_ratio']:.2f}",
+             f"{coalesced['stats']['latency_p50_ms']:.1f}",
+             f"{coalesced['stats']['latency_p99_ms']:.1f}"],
+            ["speedup", f"{speedup:.2f}x", "", "", "", ""],
+        ])
+
+    # The micro-batcher must actually coalesce under this swarm.
+    assert coalesced["stats"]["coalesce_ratio"] > 2.0, (
+        f"no real coalescing: {coalesced['stats']['coalesce_ratio']:.2f} "
+        f"requests per batch")
+    # CI gate: coalescing must never lose to 1-per-batch serving.
+    assert speedup > 1.0, (
+        f"coalesced slower than 1-per-batch: {speedup:.2f}x")
+    if not smoke:
+        # Acceptance bar: >= 2x at T=3 on the full-scale LeNet workload.
+        assert speedup >= 2.0, (
+            f"coalesced serving below the 2x bar: {speedup:.2f}x")

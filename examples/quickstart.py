@@ -3,13 +3,21 @@
 
 Runs the paper's pipeline at CI scale — a slim LeNet on a synthetic
 MNIST-like task — through the declarative ``repro.api`` experiment
-layer, and prints the searched configuration per aim plus the
-csynth-style report of the accuracy-optimal accelerator.
+layer, prints the searched configuration per aim plus the csynth-style
+report of the accuracy-optimal accelerator, then deploys the winner:
+the trained model is exported as a serving ``Deployment`` and a swarm
+of concurrent requests is answered through the async micro-batching
+``UncertaintyService``.
 
 Usage::
 
     python examples/quickstart.py
 """
+
+import asyncio
+import tempfile
+
+import numpy as np
 
 from repro.api import (
     EvolutionSpec,
@@ -21,6 +29,32 @@ from repro.api import (
     TrainSpec,
 )
 from repro.search.space import config_to_string
+from repro.serve import Deployment, UncertaintyService
+
+
+async def serve_round_trip(deployment: Deployment) -> None:
+    """Answer a few concurrent uncertainty queries over the deployment."""
+    rng = np.random.default_rng(0)
+    requests = [
+        rng.normal(size=(1,) + deployment.input_shape).astype(np.float32)
+        for _ in range(6)
+    ]
+    # Concurrent predict() calls coalesce into fused MC-dropout passes;
+    # each caller gets exactly its rows of the fused posterior, and
+    # every response is bit-identical to a direct mc_predict call.
+    async with UncertaintyService(deployment,
+                                  max_batch_rows=6) as service:
+        posteriors = await asyncio.gather(
+            *(service.predict(images) for images in requests))
+    for index, posterior in enumerate(posteriors):
+        print(f"Phase 5  request {index}: "
+              f"class={int(posterior.predictions[0])}  "
+              f"entropy={float(posterior.predictive_entropy[0]):.3f}  "
+              f"MI={float(posterior.mutual_information[0]):.3f}")
+    stats = service.stats()
+    print(f"Phase 5  {stats['requests']} requests in "
+          f"{stats['batches']} fused batch(es), coalesce ratio "
+          f"{stats['coalesce_ratio']:.1f}")
 
 
 def main() -> None:
@@ -77,6 +111,18 @@ def main() -> None:
     design = result.designs[config_to_string(winner)]
     print("\nPhase 4  synthesis report")
     print(design.report.render())
+
+    # Phase 5 — deployment: export the winner for serving and answer
+    # concurrent requests through the micro-batching service.  (A real
+    # deployment would persist next to the run artifacts; quickstart
+    # round-trips through a temp directory to show save/load.)
+    with tempfile.TemporaryDirectory() as deploy_dir:
+        runner.export_deployment(deploy_dir, aim="accuracy")
+        deployment = Deployment.load(deploy_dir)
+        print(f"\nPhase 5  deployment exported "
+              f"(config {config_to_string(deployment.config)}, "
+              f"T={deployment.spec.mc_samples})")
+        asyncio.run(serve_round_trip(deployment))
 
 
 if __name__ == "__main__":

@@ -28,6 +28,10 @@ Subpackages
     The experiment layer: declarative ``ExperimentSpec``, the
     stage-based resumable pipeline over an ``ArtifactStore``, and the
     ``Runner`` / ``run_experiments`` facade.  Start here.
+``repro.serve``
+    The serving layer: exportable ``Deployment`` artifacts and the
+    async micro-batching ``UncertaintyService`` answering concurrent
+    requests from fused MC-dropout passes.
 ``repro.flow``
     Deprecated stateful facade over ``repro.api`` (kept for backward
     compatibility).

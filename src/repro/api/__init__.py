@@ -59,6 +59,7 @@ from repro.api.stages import (
     Stage,
     TrainStage,
     build_design,
+    export_deployment,
 )
 
 __all__ = [
@@ -84,6 +85,7 @@ __all__ = [
     "TrainSpec",
     "TrainStage",
     "build_design",
+    "export_deployment",
     "run_experiment",
     "run_experiments",
 ]

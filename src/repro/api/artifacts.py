@@ -39,6 +39,34 @@ _JSON_SUFFIX = ".json"
 _STATE_SUFFIX = ".npz"
 
 
+def atomic_write(path: str, writer) -> None:
+    """Atomically materialize ``path`` from a streaming ``writer``.
+
+    ``writer(fh)`` streams the payload into a temp file in ``path``'s
+    directory (so the final ``os.replace`` never crosses filesystems),
+    then the rename publishes it whole.  Concurrent writers are safe:
+    each streams into its own temp file and the atomic rename makes the
+    last one win whole — a reader can observe either complete payload,
+    never a torn mix (the contract ``tests/test_cache_concurrency.py``
+    races).  The directory must already exist.
+    """
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """:func:`atomic_write` of an in-memory payload."""
+    atomic_write(path, lambda fh: fh.write(payload))
+
+
 class ArtifactError(RuntimeError):
     """Raised on malformed or missing artifacts."""
 
@@ -80,15 +108,7 @@ class ArtifactStore:
 
     def _atomic_write_bytes(self, path: str, payload: bytes) -> None:
         self._ensure_root()
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_bytes(path, payload)
 
     # ------------------------------------------------------------------
     # JSON artifacts
@@ -151,16 +171,7 @@ class ArtifactStore:
         """Persist a ``state_dict``-style mapping of arrays."""
         self._ensure_root()
         path = self.path(name + _STATE_SUFFIX)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        os.close(fd)
-        try:
-            with open(tmp, "wb") as fh:
-                np.savez(fh, **state)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write(path, lambda fh: np.savez(fh, **state))
         return path
 
     def load_state(self, name: str) -> Dict[str, np.ndarray]:
@@ -250,15 +261,7 @@ class EvaluationCache:
             "payload": payload,
         }
         text = json.dumps(document, indent=2, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write((text + "\n").encode("utf-8"))
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_bytes(path, (text + "\n").encode("utf-8"))
         return path
 
     def __len__(self) -> int:
@@ -281,4 +284,6 @@ __all__ = [
     "EVALUATION_CACHE_DIRNAME",
     "EVALUATION_CACHE_VERSION",
     "EvaluationCache",
+    "atomic_write",
+    "atomic_write_bytes",
 ]

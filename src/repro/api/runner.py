@@ -151,6 +151,17 @@ class Runner:
                                    eval_cache=eval_cache)
         self.pipeline = pipeline or Pipeline.default()
 
+    def export_deployment(self, path: str, *, aim: Optional[str] = None,
+                          config=None):
+        """Persist a serving deployment from this runner's context.
+
+        Call after :meth:`run` (the context must hold the trained
+        supernet and, unless ``config`` is explicit, the search
+        results).  Returns the :class:`~repro.serve.Deployment`.
+        """
+        from repro.api.stages import export_deployment
+        return export_deployment(self.ctx, path, aim=aim, config=config)
+
     def run(self) -> ExperimentResult:
         """Execute (or resume) the full pipeline and collect the result."""
         ctx = self.ctx

@@ -72,6 +72,27 @@ def _aim_slug(aim_name: str) -> str:
     return "".join(c if c.isalnum() else "_" for c in aim_name.lower())
 
 
+def build_supernet(spec: ExperimentSpec,
+                   input_shape: Tuple[int, ...]) -> Supernet:
+    """The canonical Phase-1 model + supernet construction.
+
+    Deterministic in ``spec.seed`` (fixed derivation salts), so the
+    choice-bank structure — and therefore the ``state_dict`` key set —
+    is identical wherever it is rebuilt.  The single source of truth
+    shared by :class:`SpecifyStage` and the serving layer
+    (:meth:`repro.serve.Deployment.instantiate` must reconstruct
+    exactly what a run trained before loading its weights).
+    """
+    in_channels, height = int(input_shape[0]), int(input_shape[1])
+    model = build_model(spec.model, in_channels=in_channels,
+                        image_size=height,
+                        rng=derive_seed(spec.seed, 4))
+    return Supernet(
+        model, p=spec.dropout_p, num_masks=spec.num_masks,
+        scale=spec.masksembles_scale, block_size=spec.block_size,
+        rng=derive_seed(spec.seed, 5))
+
+
 @dataclass
 class PipelineContext:
     """All runtime state shared by the stages of one experiment run.
@@ -246,18 +267,11 @@ class SpecifyStage(Stage):
         splits = split_dataset(dataset, rng=derive_seed(spec.seed, 2))
         ood = gaussian_noise_like(splits.train, spec.ood_size,
                                   rng=derive_seed(spec.seed, 3))
-        in_channels, height, _ = dataset.image_shape
-        model = build_model(spec.model, in_channels=in_channels,
-                            image_size=height,
-                            rng=derive_seed(spec.seed, 4))
-        supernet = Supernet(
-            model, p=spec.dropout_p, num_masks=spec.num_masks,
-            scale=spec.masksembles_scale, block_size=spec.block_size,
-            rng=derive_seed(spec.seed, 5))
+        supernet = build_supernet(spec, dataset.image_shape)
         ctx.dataset = dataset
         ctx.splits = splits
         ctx.ood = ood
-        ctx.model = model
+        ctx.model = supernet.model
         ctx.supernet = supernet
         ctx.space = supernet.space
         return supernet.space
@@ -455,6 +469,25 @@ class GenerateStage(Stage):
         return design, project
 
 
+def export_deployment(ctx: PipelineContext, path: str, *,
+                      aim: Optional[str] = None,
+                      config: Optional[DropoutConfig] = None):
+    """Persist a serving :class:`~repro.serve.Deployment` from ``ctx``.
+
+    Bridges the experiment layer to the serving layer: the context's
+    trained supernet, the resolved target configuration (explicit
+    ``config``, else the ``aim`` winner, else the spec's generation
+    target) and the accelerator's fixed-point metadata are frozen into
+    a deployment directory at ``path``.  Returns the
+    :class:`~repro.serve.Deployment`.
+    """
+    # Imported here: repro.serve builds on this module.
+    from repro.serve.deployment import Deployment
+    deployment = Deployment.from_context(ctx, aim=aim, config=config)
+    deployment.save(path)
+    return deployment
+
+
 #: The canonical four-phase pipeline order.
 DEFAULT_STAGES = (SpecifyStage, TrainStage, SearchStage, GenerateStage)
 
@@ -467,6 +500,8 @@ __all__ = [
     "Stage",
     "TrainStage",
     "build_design",
+    "build_supernet",
     "ensure_cost_model",
     "ensure_evaluator",
+    "export_deployment",
 ]

@@ -120,6 +120,29 @@ class MCPrediction:
         return np.maximum(
             self.predictive_entropy() - self.expected_entropy(), 0.0)
 
+    def row_slice(self, start: int, stop: int) -> "MCPrediction":
+        """Input rows ``[start, stop)`` as their own prediction.
+
+        The slice-stable entry point of the serving layer
+        (:mod:`repro.serve`): every :class:`MCPrediction` reduction —
+        ``mean_probs``, :meth:`predictions`, both entropy terms and
+        :meth:`mutual_information` — is row-local (a reduction over the
+        sample and class axes only), so for any rows of a fused batch
+
+        ``pred.row_slice(a, b).predictive_entropy()``
+        is bit-identical to ``pred.predictive_entropy()[a:b]``
+
+        and likewise for every other reduction.  This is what lets a
+        micro-batching service hand each caller exactly its rows of a
+        fused posterior without recomputing (or perturbing) anything.
+        The slice shares memory with the parent prediction.
+        """
+        if not 0 <= start <= stop <= self.probs.shape[1]:
+            raise ValueError(
+                f"row slice [{start}, {stop}) out of range for "
+                f"{self.probs.shape[1]} rows")
+        return MCPrediction(probs=self.probs[:, start:stop])
+
 
 def _mc_layers(model: Module) -> List[DropoutLayer]:
     """All dropout layers (directly or via slots) inside ``model``."""

@@ -1,19 +1,25 @@
 """Command-line interface: ``python -m repro.cli <command>`` (or the
 installed ``repro`` console script).
 
-Built on the :mod:`repro.api` experiment layer.  Four commands:
+Built on the :mod:`repro.api` experiment layer.  Five commands:
 
 * ``run`` — execute a declarative experiment spec end to end (all
   phases, every aim in the spec), persisting JSON artifacts through the
   :class:`~repro.api.ArtifactStore`; re-running the same spec against
   the same store resumes from the artifacts instead of retraining;
+  ``--export-deployment`` additionally freezes the winner into a
+  serving deployment directory;
+* ``serve`` — drive the async micro-batching uncertainty service over
+  an exported deployment (``--smoke`` answers one request and exits);
 * ``search`` — ad-hoc four-phase search from flat flags;
 * ``generate`` — emit the HLS project for a configuration;
 * ``report`` — print the csynth-style report of a configuration.
 
 Examples::
 
-    python -m repro.cli run --spec experiment.json --store runs/
+    python -m repro.cli run --spec experiment.json --store runs/ \\
+        --export-deployment deploy/
+    python -m repro.cli serve --deployment deploy/ --smoke
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
         --image-size 16 --aims accuracy latency
     python -m repro.cli generate --config B-K-M --outdir gen/
@@ -23,9 +29,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import List, Optional
+
+import numpy as np
 
 from repro.api import (
     ArtifactError,
@@ -42,7 +51,7 @@ from repro.api import (
     TrainStage,
     build_design,
 )
-from repro.search.space import config_from_string
+from repro.search.space import config_from_string, config_to_string
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +89,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "for every worker count)")
     p_run.add_argument("--json", action="store_true", dest="as_json",
                        help="print the full result digest as JSON")
+    p_run.add_argument("--export-deployment", default=None, metavar="DIR",
+                       help="after the run, freeze the generation "
+                            "target into a serving deployment directory")
+
+    p_serve = sub.add_parser(
+        "serve", help="drive the micro-batching uncertainty service")
+    source = p_serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--deployment", metavar="DIR",
+                        help="deployment directory (from "
+                             "`run --export-deployment`)")
+    source.add_argument("--run-dir", metavar="DIR",
+                        help="finished run directory to deploy directly "
+                             "(<store>/<run_id>)")
+    p_serve.add_argument("--aim", default=None,
+                         help="searched aim to deploy (with --run-dir)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="one-shot mode: answer a single request, "
+                              "print the posterior and exit")
+    p_serve.add_argument("--requests", type=int, default=8,
+                         help="concurrent demo requests (default: 8)")
+    p_serve.add_argument("--batch-rows", type=int, default=32,
+                         help="rows per fused micro-batch (default: 32)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="micro-batching admission wait (default: 2)")
+    p_serve.add_argument("--samples", type=int, default=None,
+                         help="Monte-Carlo passes T (default: the "
+                              "deployment spec's mc_samples)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seed of the synthetic demo requests")
 
     p_search = sub.add_parser(
         "search", help="run the four-phase dropout search")
@@ -174,12 +212,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     runner = Runner(spec,
                     store_root=None if args.no_store else args.store)
     result = runner.run()
+    deployment = None
+    if args.export_deployment:
+        deployment = runner.export_deployment(args.export_deployment)
     if args.as_json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        digest = result.to_dict()
+        if deployment is not None:
+            digest["deployment"] = {
+                "path": args.export_deployment,
+                "config": config_to_string(deployment.config),
+                "aim": deployment.aim,
+                "serve_seed": deployment.serve_seed,
+            }
+        print(json.dumps(digest, indent=2, sort_keys=True))
         return 0
     print(f"run id: {result.run_id}")
     if result.store_root:
         print(f"artifacts: {result.store_root}")
+    if deployment is not None:
+        print(f"deployment: {args.export_deployment} "
+              f"(config {config_to_string(deployment.config)})")
     if result.resumed:
         print(f"resumed from artifacts: {', '.join(sorted(result.resumed))}")
     log = result.train_log
@@ -210,6 +262,54 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _drive_service(service, requests: List[np.ndarray]):
+    """Submit ``requests`` concurrently; return their posteriors."""
+    async with service:
+        return await asyncio.gather(
+            *(service.predict(images) for images in requests))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the other subcommands never pay the serve
+    # imports (and vice versa on a stripped deployment host).
+    from repro.serve import Deployment, UncertaintyService
+
+    if args.deployment:
+        deployment = Deployment.load(args.deployment)
+    else:
+        deployment = Deployment.from_run(args.run_dir, aim=args.aim)
+    num_requests = 1 if args.smoke else max(1, args.requests)
+    rng = np.random.default_rng(args.seed)
+    requests = [
+        rng.normal(size=(1,) + deployment.input_shape).astype(np.float32)
+        for _ in range(num_requests)
+    ]
+    service = UncertaintyService(
+        deployment,
+        max_batch_rows=args.batch_rows,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_rows=max(args.batch_rows, num_requests),
+        num_samples=args.samples)
+    print(f"deployment: model={deployment.spec.model} "
+          f"config={config_to_string(deployment.config)} "
+          f"T={service.num_samples} "
+          f"engine={deployment.spec.engine} "
+          f"fixed_point=<{deployment.fixed_point.total_bits},"
+          f"{deployment.fixed_point.fraction_bits}>")
+    posteriors = asyncio.run(_drive_service(service, requests))
+    for index, posterior in enumerate(posteriors):
+        print(f"request {index}: class={int(posterior.predictions[0])} "
+              f"entropy={float(posterior.predictive_entropy[0]):.4f} "
+              f"mutual_info={float(posterior.mutual_information[0]):.4f}")
+    stats = service.stats()
+    print(f"served {stats['requests']} request(s) in {stats['batches']} "
+          f"fused batch(es), coalesce ratio "
+          f"{stats['coalesce_ratio']:.2f}, "
+          f"p50={stats['latency_p50_ms']:.1f}ms "
+          f"p99={stats['latency_p99_ms']:.1f}ms")
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     ctx = _specified_context(args)
     config = _parse_config(ctx, args.config)
@@ -230,6 +330,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": cmd_run,
+    "serve": cmd_serve,
     "search": cmd_search,
     "generate": cmd_generate,
     "report": cmd_report,

@@ -1,0 +1,54 @@
+"""``repro.serve`` — async micro-batching uncertainty serving.
+
+The deployment scenario the paper's accelerators exist for: accepting
+concurrent prediction requests and answering each with a calibrated
+posterior (mean probabilities, predictive entropy, mutual information)
+from fused MC-dropout forward passes.
+
+Three layers:
+
+* :class:`Deployment` — the serving artifact (spec + chosen dropout
+  configuration + trained weights + fixed-point metadata), exportable
+  from a finished ``repro.api`` run and round-trippable to disk;
+* :class:`MicroBatcher` — the asyncio admission policy coalescing
+  concurrent requests into fused batches with bounded wait, bounded
+  queue (backpressure) and deterministic request→slice bookkeeping;
+* :class:`UncertaintyService` — ``await predict(images)`` →
+  :class:`PosteriorSlice`, plus operational counters.
+
+Quickstart::
+
+    from repro.serve import Deployment, UncertaintyService
+
+    deployment = Deployment.from_run("runs/<run_id>")
+    async with UncertaintyService(deployment) as service:
+        posterior = await service.predict(images)
+        print(posterior.predictive_entropy)
+
+Correctness contract: service responses are bit-identical to direct
+:func:`repro.bayes.mc.mc_predict` calls on the same fused rows under
+the deployment's reseed contract — see ``tests/test_serve_*``.
+"""
+
+from repro.serve.deployment import (
+    DEPLOYMENT_VERSION,
+    Deployment,
+    DeploymentError,
+)
+from repro.serve.scheduler import BackpressureError, MicroBatcher
+from repro.serve.service import (
+    LATENCY_WINDOW,
+    PosteriorSlice,
+    UncertaintyService,
+)
+
+__all__ = [
+    "BackpressureError",
+    "DEPLOYMENT_VERSION",
+    "Deployment",
+    "DeploymentError",
+    "LATENCY_WINDOW",
+    "MicroBatcher",
+    "PosteriorSlice",
+    "UncertaintyService",
+]

@@ -1,0 +1,298 @@
+"""Asyncio micro-batching: coalesce concurrent requests into one pass.
+
+The throughput lever of every Monte-Carlo serving system — FPGA or
+software — is the same: the ``T``-sample fused forward pass has a high
+fixed cost (mask planning, dispatch, GEMM setup) that amortizes over
+rows, so concurrent single-image requests should ride one fused batch
+instead of paying the fixed cost each.  The :class:`MicroBatcher`
+implements the admission policy:
+
+* requests queue FIFO; a fused batch closes as soon as it holds
+  ``max_batch_rows`` rows **or** the oldest queued request has waited
+  ``max_wait_ms`` — bounded latency under light traffic, full batches
+  under heavy traffic;
+* requests are **atomic** (never split across fused batches); a
+  request larger than ``max_batch_rows`` forms its own oversized batch;
+* the queue is **bounded** (``max_queue_rows``): an admission that
+  would exceed it raises :class:`BackpressureError` immediately instead
+  of growing memory without bound — callers shed or retry;
+* bookkeeping is **deterministic**: batches are fused in admission
+  order and every caller receives exactly the slice
+  ``[offset, offset + rows)`` of the fused result, where ``offset`` is
+  the sum of the rows admitted before it.  No drops, duplicates or
+  reorders — the property suite (``tests/test_serve_scheduler.py``)
+  fuzzes exactly this.
+
+The batcher is transport- and model-agnostic: it fuses
+``numpy``-concatenatable payloads through a synchronous ``predict_fn``
+and splits results with a ``slice_fn`` (row slicing by default).  The
+prediction runs inline on the event loop — simple and deterministic,
+at the cost of blocking the loop for the duration of one fused pass.
+Coalescing therefore comes from requests that are *queued* when a
+batch closes: submitter coroutines scheduled before the drain task
+resumes (an ``asyncio.gather`` swarm, handlers that enqueued while an
+earlier batch awaited) land in the same fused batch.  ``predict_fn``
+must be synchronous — the dispatcher calls it and slices its return
+value in one step; a transport whose producers must stay responsive
+*during* compute should run the whole batcher (submitters and drain)
+on a dedicated event loop rather than hand an awaitable back from
+``predict_fn``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class BackpressureError(RuntimeError):
+    """The bounded request queue cannot admit this request right now."""
+
+
+def _slice_rows(result: Any, start: int, stop: int) -> Any:
+    """Default slice_fn: the result is row-indexable like an array."""
+    return result[start:stop]
+
+
+class _Pending:
+    """One queued request: payload, row count, future, arrival time."""
+
+    __slots__ = ("payload", "rows", "future", "arrival")
+
+    def __init__(self, payload: np.ndarray, rows: int,
+                 future: "asyncio.Future", arrival: float) -> None:
+        self.payload = payload
+        self.rows = rows
+        self.future = future
+        self.arrival = arrival
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into fused prediction batches.
+
+    Args:
+        predict_fn: synchronous function of one fused payload (the
+            row-wise concatenation of the batch's requests, admission
+            order) returning a sliceable result.
+        max_batch_rows: rows per fused batch; a batch closes once it
+            holds this many (requests stay atomic, see module
+            docstring).
+        max_wait_ms: longest the oldest queued request waits before its
+            (possibly partial) batch is dispatched.
+        max_queue_rows: bound on queued rows; admissions beyond it
+            raise :class:`BackpressureError`.
+        slice_fn: ``(result, start, stop) -> per-request result``;
+            defaults to row slicing.
+
+    Requests may be submitted before :meth:`start`; they queue and are
+    served once the drain task runs.  Counters (``requests``, ``rows``,
+    ``batches``, ``batched_rows``, ``rejected``) accumulate for the
+    batcher's lifetime.
+    """
+
+    def __init__(self, predict_fn: Callable[[np.ndarray], Any], *,
+                 max_batch_rows: int = 32,
+                 max_wait_ms: float = 2.0,
+                 max_queue_rows: int = 256,
+                 slice_fn: Callable[[Any, int, int], Any] = _slice_rows
+                 ) -> None:
+        check_positive_int(max_batch_rows, "max_batch_rows")
+        check_positive_int(max_queue_rows, "max_queue_rows")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_rows < max_batch_rows:
+            raise ValueError(
+                f"max_queue_rows ({max_queue_rows}) must be at least "
+                f"max_batch_rows ({max_batch_rows})")
+        self.predict_fn = predict_fn
+        self.slice_fn = slice_fn
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue_rows = int(max_queue_rows)
+        self._pending: Deque[_Pending] = deque()
+        self._queued_rows = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._drain_task: Optional["asyncio.Task"] = None
+        self._stopping = False
+        # Lifetime counters.
+        self.requests = 0
+        self.rows = 0
+        self.batches = 0
+        self.batched_rows = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth_rows(self) -> int:
+        """Rows currently waiting for a batch."""
+        return self._queued_rows
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean requests fused per dispatched batch (0.0 before any)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    def _event(self) -> asyncio.Event:
+        # Created lazily so the batcher can be constructed outside a
+        # running event loop (the Event binds to the loop in use).
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        return self._wakeup
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, payload: np.ndarray) -> Any:
+        """Queue one request and await its slice of the fused result.
+
+        Raises:
+            BackpressureError: the bounded queue is full (or the
+                request alone exceeds it).
+            RuntimeError: the batcher has been stopped.
+        """
+        if self._stopping:
+            raise RuntimeError("batcher is stopped")
+        rows = int(payload.shape[0])
+        if rows <= 0:
+            raise ValueError("request payload must have at least one row")
+        if self._queued_rows + rows > self.max_queue_rows:
+            self.rejected += 1
+            raise BackpressureError(
+                f"queue full: {self._queued_rows} rows queued, request "
+                f"of {rows} exceeds max_queue_rows={self.max_queue_rows}")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending.append(
+            _Pending(payload, rows, future, loop.time()))
+        self._queued_rows += rows
+        self.requests += 1
+        self.rows += rows
+        self._event().set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the drain task (idempotent)."""
+        if self._stopping:
+            raise RuntimeError("batcher is stopped")
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_loop())
+
+    async def stop(self) -> None:
+        """Flush queued requests, then stop the drain task.
+
+        Also flushes when the batcher was never started: requests may
+        queue before :meth:`start`, and leaving their futures forever
+        unresolved would hang the submitters.
+        """
+        self._stopping = True
+        self._event().set()
+        if self._drain_task is not None:
+            await self._drain_task
+            self._drain_task = None
+        while self._pending:
+            self._dispatch(self._pop_batch())
+
+    async def __aenter__(self) -> "MicroBatcher":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Drain loop
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        while True:
+            await self._wait_for_batch()
+            if not self._pending:
+                if self._stopping:
+                    return
+                continue
+            self._dispatch(self._pop_batch())
+
+    async def _wait_for_batch(self) -> None:
+        """Block until a batch should be dispatched (or we are stopping).
+
+        A batch is due when ``max_batch_rows`` rows are queued, when the
+        oldest request's ``max_wait_ms`` deadline passes, or immediately
+        on stop (flush).
+        """
+        event = self._event()
+        while not self._pending and not self._stopping:
+            event.clear()
+            await event.wait()
+        if not self._pending or self._stopping:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = self._pending[0].arrival + self.max_wait_ms / 1e3
+        while (self._queued_rows < self.max_batch_rows
+               and not self._stopping):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            event.clear()
+            try:
+                await asyncio.wait_for(event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return
+
+    def _pop_batch(self) -> List[_Pending]:
+        """Dequeue the next fused batch (FIFO, atomic requests)."""
+        batch: List[_Pending] = []
+        batch_rows = 0
+        while self._pending:
+            nxt = self._pending[0]
+            if batch and batch_rows + nxt.rows > self.max_batch_rows:
+                break
+            self._pending.popleft()
+            self._queued_rows -= nxt.rows
+            batch.append(nxt)
+            batch_rows += nxt.rows
+        return batch
+
+    def _dispatch(self, batch: List[_Pending]) -> None:
+        """Fuse, predict and distribute one batch's slices.
+
+        Any failure — in ``predict_fn`` *or* in ``slice_fn`` — rejects
+        this batch's futures and nothing else: the drain task must
+        survive every user-supplied callable, or all later submitters
+        would hang on futures nobody will ever resolve.
+        """
+        self.batches += 1
+        self.batched_rows += sum(request.rows for request in batch)
+        try:
+            if len(batch) == 1:
+                fused = batch[0].payload
+            else:
+                fused = np.concatenate(
+                    [r.payload for r in batch], axis=0)
+            result = self.predict_fn(fused)
+            offset = 0
+            slices = []
+            for request in batch:
+                slices.append(
+                    self.slice_fn(result, offset, offset + request.rows))
+                offset += request.rows
+        except Exception as exc:
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, part in zip(batch, slices):
+            if not request.future.done():
+                request.future.set_result(part)
+
+
+__all__ = ["BackpressureError", "MicroBatcher"]

@@ -1,0 +1,207 @@
+"""The uncertainty service: async predictions over a deployment.
+
+:class:`UncertaintyService` is the top of the serving stack — the
+paper's end product turned into a request/response system.  It owns an
+instantiated :class:`~repro.serve.deployment.Deployment` model and a
+:class:`~repro.serve.scheduler.MicroBatcher`; concurrent
+``await service.predict(images)`` calls coalesce into fused MC-dropout
+forward passes and each caller receives a :class:`PosteriorSlice` —
+the posterior-predictive mean plus the decomposed uncertainty signals
+(predictive entropy, mutual information) for exactly its rows.
+
+Bit-identity contract (``tests/test_serve_equivalence.py``): a
+response equals the corresponding rows of a direct
+:func:`repro.bayes.mc.mc_predict` call on the fused batch under the
+deployment's reseed contract — micro-batching changes *when* rows are
+computed, never *what* they are.
+
+The service tracks operational counters (requests, batches, coalesce
+ratio, queue depth, rejected admissions, p50/p99 request latency) and
+reports them via :meth:`UncertaintyService.stats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.bayes.mc import ENGINES, MCPrediction
+from repro.nn.module import DTYPE
+from repro.serve.deployment import Deployment
+from repro.serve.scheduler import MicroBatcher
+from repro.utils.validation import check_positive_int
+
+#: Request latencies kept for the percentile window (bounds memory
+#: under sustained traffic; percentiles are over the last this-many).
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class PosteriorSlice:
+    """One request's share of a fused Monte-Carlo posterior.
+
+    Attributes:
+        mean_probs: posterior predictive mean, shape ``(n, K)``.
+        predictions: hard class decisions, shape ``(n,)``.
+        predictive_entropy: total uncertainty H[E[p]] in nats, ``(n,)``.
+        mutual_information: epistemic (BALD) uncertainty in nats,
+            ``(n,)``.
+        num_samples: Monte-Carlo passes behind the estimate.
+    """
+
+    mean_probs: np.ndarray
+    predictions: np.ndarray
+    predictive_entropy: np.ndarray
+    mutual_information: np.ndarray
+    num_samples: int
+
+    @classmethod
+    def from_prediction(cls, prediction: MCPrediction) -> "PosteriorSlice":
+        """Reduce an :class:`MCPrediction` to the response payload."""
+        return cls(
+            mean_probs=prediction.mean_probs,
+            predictions=prediction.predictions(),
+            predictive_entropy=prediction.predictive_entropy(),
+            mutual_information=prediction.mutual_information(),
+            num_samples=prediction.num_samples,
+        )
+
+    def __len__(self) -> int:
+        return int(self.mean_probs.shape[0])
+
+
+class UncertaintyService:
+    """Micro-batched async MC-dropout inference over a deployment.
+
+    Args:
+        deployment: the serving artifact; its model is instantiated
+            once here and reused across every request.
+        max_batch_rows: rows per fused Monte-Carlo batch.
+        max_wait_ms: micro-batching admission wait (see
+            :class:`~repro.serve.scheduler.MicroBatcher`).
+        max_queue_rows: backpressure bound on queued rows.
+        num_samples: Monte-Carlo passes per prediction; defaults to the
+            deployment spec's ``mc_samples``.
+        engine: MC engine override; defaults to the spec's ``engine``.
+
+    Use as an async context manager::
+
+        async with UncertaintyService(deployment) as service:
+            posterior = await service.predict(images)
+    """
+
+    def __init__(self, deployment: Deployment, *,
+                 max_batch_rows: int = 32,
+                 max_wait_ms: float = 2.0,
+                 max_queue_rows: int = 256,
+                 num_samples: Optional[int] = None,
+                 engine: Optional[str] = None) -> None:
+        self.deployment = deployment
+        if num_samples is None:
+            num_samples = deployment.spec.mc_samples
+        check_positive_int(num_samples, "num_samples")
+        if engine is None:
+            engine = deployment.spec.engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"choose from {ENGINES}")
+        self.num_samples = int(num_samples)
+        self.engine = engine
+        self._model = deployment.instantiate()
+        self._batcher = MicroBatcher(
+            self._predict_fused,
+            max_batch_rows=max_batch_rows,
+            max_wait_ms=max_wait_ms,
+            max_queue_rows=max_queue_rows,
+            slice_fn=lambda pred, start, stop: pred.row_slice(start, stop))
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Prediction path
+    # ------------------------------------------------------------------
+    def _predict_fused(self, images: np.ndarray) -> MCPrediction:
+        """One fused pass under the deployment's determinism contract."""
+        return self.deployment.predict(
+            self._model, images,
+            num_samples=self.num_samples, engine=self.engine)
+
+    def _validate(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=DTYPE)
+        expected = self.deployment.input_shape
+        if images.ndim != 1 + len(expected) or images.shape[1:] != expected:
+            raise ValueError(
+                f"request must be a batch of shape (n, {expected[0]}, "
+                f"{expected[1]}, {expected[2]}), got {images.shape}")
+        return images
+
+    async def predict(self, images: np.ndarray) -> PosteriorSlice:
+        """Answer one uncertainty query for a batch of images.
+
+        The request rides the next fused micro-batch; the returned
+        :class:`PosteriorSlice` covers exactly ``images``'s rows, in
+        order.
+
+        Raises:
+            BackpressureError: the service queue is full.
+            ValueError: the request shape does not match the
+                deployment's input shape.
+        """
+        images = self._validate(images)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        prediction = await self._batcher.submit(images)
+        self._latencies.append(loop.time() - started)
+        return PosteriorSlice.from_prediction(prediction)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the micro-batching drain task."""
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        """Flush queued requests and stop the drain task."""
+        await self._batcher.stop()
+
+    async def __aenter__(self) -> "UncertaintyService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Operational counters since the service was created.
+
+        ``coalesce_ratio`` is requests per fused batch (1.0 means no
+        coalescing happened, higher is better amortization);
+        ``latency_p50_ms``/``latency_p99_ms`` are percentiles over the
+        last :data:`LATENCY_WINDOW` completed requests.
+        """
+        batcher = self._batcher
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        return {
+            "requests": batcher.requests,
+            "rows": batcher.rows,
+            "batches": batcher.batches,
+            "coalesce_ratio": batcher.coalesce_ratio,
+            "queue_depth_rows": batcher.queue_depth_rows,
+            "rejected": batcher.rejected,
+            "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
+                               if latencies.size else 0.0),
+            "latency_p99_ms": (float(np.percentile(latencies, 99)) * 1e3
+                               if latencies.size else 0.0),
+            "num_samples": self.num_samples,
+            "engine": self.engine,
+        }
+
+
+__all__ = ["LATENCY_WINDOW", "PosteriorSlice", "UncertaintyService"]

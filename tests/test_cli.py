@@ -152,3 +152,71 @@ class TestRunCommand:
                      "--no-store"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """End-to-end: run --spec → export Deployment → serve --smoke."""
+
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = ExperimentSpec(
+            name="cli-serve",
+            model="lenet_slim", dataset="mnist_like", image_size=16,
+            dataset_size=200, ood_size=40, seed=8,
+            train=TrainSpec(epochs=2),
+            search=SearchSpec(
+                aims=("latency",),
+                evolution=EvolutionSpec(population_size=4,
+                                        generations=2)),
+            generate=GenerateSpec(aim="latency"))
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        return path
+
+    def test_serve_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--deployment", "a",
+                                       "--run-dir", "b"])
+
+    def test_run_export_then_serve_smoke(self, spec_file, tmp_path,
+                                         capsys):
+        store = str(tmp_path / "runs")
+        deploy = str(tmp_path / "deploy")
+        code = main(["run", "--spec", str(spec_file), "--store", store,
+                     "--export-deployment", deploy])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deployment:" in out
+        assert (tmp_path / "deploy" / "deployment.json").exists()
+        assert (tmp_path / "deploy" / "weights.npz").exists()
+        # One-shot smoke serving answers a request and exits 0.
+        assert main(["serve", "--deployment", deploy, "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "served 1 request(s)" in out
+        assert "entropy=" in out
+        assert "mutual_info=" in out
+
+    def test_serve_straight_from_run_dir(self, spec_file, tmp_path,
+                                         capsys):
+        store = tmp_path / "runs"
+        assert main(["run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        run_dirs = [entry for entry in store.iterdir()
+                    if entry.is_dir() and entry.name != "eval_cache"]
+        assert len(run_dirs) == 1
+        code = main(["serve", "--run-dir", str(run_dirs[0]),
+                     "--requests", "4", "--batch-rows", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 4 request(s)" in out
+        assert "coalesce ratio" in out
+
+    def test_serve_missing_deployment_dir_is_user_error(self, tmp_path,
+                                                        capsys):
+        code = main(["serve", "--deployment",
+                     str(tmp_path / "missing"), "--smoke"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -1,0 +1,337 @@
+"""MicroBatcher properties: no drops, no dups, no reorders, no floods.
+
+Property-style randomized suite (seeded, fully deterministic) for the
+scheduler invariants of :mod:`repro.serve.scheduler`:
+
+* **row fidelity** — every submitted row comes back exactly once, in
+  its request's order, with the right payload (the fake predict
+  function tags rows so any drop/duplicate/reorder/mix-up is visible);
+* **admission policy** — fused batches never exceed
+  ``max_batch_rows`` (except a single oversized atomic request), are
+  fused in FIFO admission order, and the concatenation of all batches
+  replays the admission stream exactly;
+* **max-wait** — a lone request is dispatched without waiting for the
+  batch to fill;
+* **backpressure** — admissions beyond ``max_queue_rows`` raise
+  :class:`BackpressureError` immediately; the queue never grows past
+  the bound;
+* **lifecycle** — stop flushes queued requests; a stopped batcher
+  rejects new submissions; a failing predict function rejects its
+  batch but not subsequent ones.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.serve import BackpressureError, MicroBatcher
+
+#: Seeds of the randomized trials (one deterministic stream each).
+TRIAL_SEEDS = range(8)
+
+
+def tagged_request(request_id, rows):
+    """Rows tagged (request_id, row_index) so identity is checkable."""
+    return np.stack([np.array([request_id, row], dtype=np.int64)
+                     for row in range(rows)])
+
+
+class RecordingPredict:
+    """Identity predict function that records every fused batch."""
+
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, fused):
+        self.batches.append(fused.copy())
+        return fused
+
+
+async def submit_all(batcher, requests):
+    """Submit ``requests`` concurrently; gather their results."""
+    tasks = [asyncio.ensure_future(batcher.submit(r)) for r in requests]
+    return await asyncio.gather(*tasks)
+
+
+class TestRandomizedFidelity:
+    """Fuzz request streams; check every invariant on each trial."""
+
+    @pytest.mark.parametrize("seed", TRIAL_SEEDS)
+    def test_rows_never_dropped_duplicated_or_reordered(self, seed):
+        rng = random.Random(seed)
+        num_requests = rng.randint(1, 14)
+        row_counts = [rng.randint(1, 5) for _ in range(num_requests)]
+        max_batch_rows = rng.randint(3, 8)
+        requests = [tagged_request(i, rows)
+                    for i, rows in enumerate(row_counts)]
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(
+                predict, max_batch_rows=max_batch_rows,
+                max_wait_ms=20.0, max_queue_rows=1024)
+            async with batcher:
+                return await submit_all(batcher, requests)
+
+        results = asyncio.run(main())
+
+        # Row fidelity: every response is exactly its request, bit for
+        # bit — no drops, duplicates, reorders or cross-request mixes.
+        for request, result in zip(requests, results):
+            assert np.array_equal(request, result)
+
+        # Admission policy: batches respect the row bound (atomic
+        # oversized requests excepted) and replay the admission stream.
+        largest_request = max(row_counts)
+        for batch in predict.batches:
+            assert batch.shape[0] <= max(max_batch_rows, largest_request)
+        replay = np.concatenate(predict.batches, axis=0)
+        admitted = np.concatenate(requests, axis=0)
+        assert np.array_equal(replay, admitted)
+
+        # No batch splits a request across batches (atomicity): each
+        # batch holds whole requests, i.e. its request ids change only
+        # at request boundaries with full row runs.
+        for batch in predict.batches:
+            ids = batch[:, 0]
+            for request_id in np.unique(ids):
+                rows = batch[ids == request_id][:, 1]
+                assert np.array_equal(
+                    rows, np.arange(row_counts[int(request_id)]))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_counters_account_for_everything(self, seed):
+        rng = random.Random(100 + seed)
+        row_counts = [rng.randint(1, 4) for _ in range(10)]
+        requests = [tagged_request(i, rows)
+                    for i, rows in enumerate(row_counts)]
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=6,
+                                   max_wait_ms=20.0, max_queue_rows=512)
+            async with batcher:
+                await submit_all(batcher, requests)
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert batcher.requests == len(requests)
+        assert batcher.rows == sum(row_counts)
+        assert batcher.batches == len(predict.batches)
+        assert batcher.batched_rows == sum(row_counts)
+        assert batcher.queue_depth_rows == 0
+        assert batcher.coalesce_ratio == pytest.approx(
+            len(requests) / len(predict.batches))
+
+
+class TestMaxWait:
+    def test_lone_request_dispatches_on_timeout(self):
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=100,
+                                   max_wait_ms=5.0, max_queue_rows=100)
+            async with batcher:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                # wait_for turns a never-firing timer into a failure
+                # instead of a hung suite.
+                result = await asyncio.wait_for(
+                    batcher.submit(tagged_request(0, 2)), timeout=5.0)
+                elapsed = loop.time() - started
+            return result, elapsed
+
+        result, elapsed = asyncio.run(main())
+        assert np.array_equal(result, tagged_request(0, 2))
+        # The batch never fills (100-row bound), so dispatch must come
+        # from the 5 ms admission timer.  The bound leaves ~100x
+        # scheduling headroom while still failing a timer that is off
+        # by orders of magnitude (e.g. ms misread as s).
+        assert elapsed < 0.5
+
+    def test_full_batch_dispatches_without_waiting(self):
+        predict = RecordingPredict()
+
+        async def main():
+            # An hour-long max_wait: dispatch must come from the batch
+            # filling, not from the timer.
+            batcher = MicroBatcher(predict, max_batch_rows=4,
+                                   max_wait_ms=3_600_000.0,
+                                   max_queue_rows=64)
+            async with batcher:
+                return await asyncio.wait_for(
+                    submit_all(batcher,
+                               [tagged_request(i, 2) for i in range(4)]),
+                    timeout=10.0)
+
+        results = asyncio.run(main())
+        assert len(results) == 4
+        assert all(batch.shape[0] == 4 for batch in predict.batches)
+
+
+class TestBackpressure:
+    def test_queue_full_raises_instead_of_growing(self):
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=4,
+                                   max_wait_ms=50.0, max_queue_rows=8)
+            # Not started: submissions queue up against the bound.
+            queued = [asyncio.ensure_future(
+                batcher.submit(tagged_request(i, 2))) for i in range(4)]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            assert batcher.queue_depth_rows == 8
+            with pytest.raises(BackpressureError):
+                await batcher.submit(tagged_request(99, 1))
+            assert batcher.rejected == 1
+            assert batcher.queue_depth_rows == 8  # unchanged by reject
+            # Draining the queue re-admits new work.
+            async with batcher:
+                results = await asyncio.gather(*queued)
+                late = await batcher.submit(tagged_request(50, 2))
+            return results, late
+
+        results, late = asyncio.run(main())
+        assert len(results) == 4
+        assert np.array_equal(late, tagged_request(50, 2))
+
+    def test_oversized_request_rejected_outright(self):
+        async def main():
+            batcher = MicroBatcher(RecordingPredict(), max_batch_rows=4,
+                                   max_wait_ms=1.0, max_queue_rows=8)
+            async with batcher:
+                with pytest.raises(BackpressureError):
+                    await batcher.submit(tagged_request(0, 9))
+
+        asyncio.run(main())
+
+    def test_oversized_atomic_request_within_queue_gets_own_batch(self):
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=2,
+                                   max_wait_ms=20.0, max_queue_rows=16)
+            async with batcher:
+                return await submit_all(batcher, [
+                    tagged_request(0, 1),
+                    tagged_request(1, 5),  # > max_batch_rows, atomic
+                    tagged_request(2, 1),
+                ])
+
+        results = asyncio.run(main())
+        assert np.array_equal(results[1], tagged_request(1, 5))
+        assert any(batch.shape[0] == 5 for batch in predict.batches)
+
+
+class TestLifecycle:
+    def test_stop_flushes_queued_requests(self):
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=4,
+                                   max_wait_ms=3_600_000.0,
+                                   max_queue_rows=64)
+            tasks = [asyncio.ensure_future(
+                batcher.submit(tagged_request(i, 1))) for i in range(3)]
+            await asyncio.sleep(0)
+            await batcher.start()
+            # 3 rows < max_batch_rows and the timer is an hour out —
+            # only the stop-flush can release these.
+            await batcher.stop()
+            return await asyncio.gather(*tasks)
+
+        results = asyncio.run(main())
+        assert len(results) == 3
+        for i, result in enumerate(results):
+            assert np.array_equal(result, tagged_request(i, 1))
+
+    def test_stop_without_start_still_flushes(self):
+        predict = RecordingPredict()
+
+        async def main():
+            batcher = MicroBatcher(predict, max_batch_rows=4,
+                                   max_wait_ms=1.0, max_queue_rows=64)
+            tasks = [asyncio.ensure_future(
+                batcher.submit(tagged_request(i, 1))) for i in range(3)]
+            await asyncio.sleep(0)
+            # Never started: stop() alone must resolve the futures —
+            # otherwise the submitters hang forever.
+            await batcher.stop()
+            return await asyncio.wait_for(asyncio.gather(*tasks),
+                                          timeout=5.0)
+
+        results = asyncio.run(main())
+        assert len(results) == 3
+        for i, result in enumerate(results):
+            assert np.array_equal(result, tagged_request(i, 1))
+
+    def test_stopped_batcher_rejects_submissions(self):
+        async def main():
+            batcher = MicroBatcher(RecordingPredict())
+            async with batcher:
+                pass
+            with pytest.raises(RuntimeError, match="stopped"):
+                await batcher.submit(tagged_request(0, 1))
+
+        asyncio.run(main())
+
+    def test_slice_failure_rejects_batch_not_batcher(self):
+        def bad_slice(result, start, stop):
+            if int(result[0, 0]) == 0:  # only the first request's batch
+                raise ValueError("bad slice")
+            return result[start:stop]
+
+        async def main():
+            batcher = MicroBatcher(lambda fused: fused,
+                                   max_batch_rows=1, max_wait_ms=1.0,
+                                   max_queue_rows=8, slice_fn=bad_slice)
+            async with batcher:
+                with pytest.raises(ValueError, match="bad slice"):
+                    await batcher.submit(tagged_request(0, 1))
+                # The drain task survived the slice failure.
+                return await batcher.submit(tagged_request(1, 1))
+
+        result = asyncio.run(main())
+        assert np.array_equal(result, tagged_request(1, 1))
+
+    def test_predict_failure_rejects_batch_not_batcher(self):
+        calls = {"n": 0}
+
+        def flaky(fused):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return fused
+
+        async def main():
+            batcher = MicroBatcher(flaky, max_batch_rows=1,
+                                   max_wait_ms=1.0, max_queue_rows=8)
+            async with batcher:
+                with pytest.raises(RuntimeError, match="boom"):
+                    await batcher.submit(tagged_request(0, 1))
+                return await batcher.submit(tagged_request(1, 1))
+
+        result = asyncio.run(main())
+        assert np.array_equal(result, tagged_request(1, 1))
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        predict = RecordingPredict()
+        with pytest.raises(ValueError):
+            MicroBatcher(predict, max_batch_rows=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(predict, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(predict, max_batch_rows=8, max_queue_rows=4)
+
+    def test_empty_request_rejected(self):
+        async def main():
+            batcher = MicroBatcher(RecordingPredict())
+            async with batcher:
+                with pytest.raises(ValueError):
+                    await batcher.submit(np.zeros((0, 2)))
+
+        asyncio.run(main())
