@@ -57,6 +57,7 @@ from repro.api.stages import (
     SearchStage,
     SpecifyStage,
     Stage,
+    StoreTrainCheckpointer,
     TrainStage,
     build_design,
     export_deployment,
@@ -82,6 +83,7 @@ __all__ = [
     "SpecError",
     "SpecifyStage",
     "Stage",
+    "StoreTrainCheckpointer",
     "TrainSpec",
     "TrainStage",
     "build_design",

@@ -184,9 +184,23 @@ class ArtifactStore:
             raise ArtifactError(f"state artifact {name!r} not found in "
                                 f"{self.root}") from None
 
+    def delete_state(self, name: str) -> bool:
+        """Remove array artifact ``name``; True if it existed."""
+        try:
+            os.unlink(self.path(name + _STATE_SUFFIX))
+            return True
+        except FileNotFoundError:
+            return False
 
-#: Version stamped into every evaluation-cache entry envelope.
-EVALUATION_CACHE_VERSION = 1
+
+#: Version stamped into every evaluation-cache entry envelope.  Bump
+#: whenever the *numerics* behind an evaluation change without the
+#: evaluation fingerprint moving: entries with any other version load
+#: as misses.  v2: the training kernels were rewritten (conv backward
+#: einsum -> GEMM, PR 5), so identically-fingerprinted reruns now train
+#: ulp-different supernet weights — v1 entries describe results the
+#: current code would not reproduce.
+EVALUATION_CACHE_VERSION = 2
 
 #: Store-root subdirectory holding the shared evaluation cache.
 EVALUATION_CACHE_DIRNAME = "eval_cache"

@@ -72,13 +72,21 @@ def _from_flat_dict(cls, data: Any, where: str):
 
 @dataclass
 class TrainSpec:
-    """Supernet-training section (maps onto :class:`TrainConfig`)."""
+    """Supernet-training section (maps onto :class:`TrainConfig`).
+
+    ``train_mode`` selects the training execution path (``"fast"`` or
+    ``"reference"``); the paths are bit-identical on seeded runs, so —
+    like the MC ``engine`` knob — it is excluded from both identity
+    fingerprints and a run may switch modes and still resume its
+    persisted artifacts.
+    """
 
     epochs: int = 8
     batch_size: int = 32
     lr: float = 2e-3
     weight_decay: float = 0.0
     optimizer: str = "adam"
+    train_mode: str = "fast"
 
     def __post_init__(self) -> None:
         # Delegate range checks to the runtime config's validation.
@@ -88,7 +96,8 @@ class TrainSpec:
         """The runtime :class:`TrainConfig` this section describes."""
         return TrainConfig(epochs=self.epochs, batch_size=self.batch_size,
                            lr=self.lr, weight_decay=self.weight_decay,
-                           optimizer=self.optimizer)
+                           optimizer=self.optimizer,
+                           train_mode=self.train_mode)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -429,6 +438,10 @@ class ExperimentSpec:
         path are bit-identical to their references — see
         :mod:`repro.bayes.mc` and :mod:`repro.search.parallel` — so
         they change how results are computed, never what they are).
+        ``train.train_mode`` is excluded for the same reason: the
+        training fast path is pinned bit-identical to the reference
+        trajectory (:mod:`repro.search.trainer`), so switching modes
+        must keep resuming the same artifacts.
         A field excluded here must be excluded from *both* hashes;
         keeping one exclusion list prevents the resume key and the
         evaluation-cache key from silently desynchronizing.
@@ -438,6 +451,8 @@ class ExperimentSpec:
         payload.pop("generate")
         payload.pop("engine")
         payload.pop("num_workers")
+        payload["train"] = dict(payload["train"])
+        payload["train"].pop("train_mode")
         return payload
 
     @staticmethod

@@ -20,9 +20,13 @@ Artifact layout of a run directory::
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.api.artifacts import ArtifactStore, EvaluationCache
 from repro.api.spec import ExperimentSpec
@@ -53,6 +57,7 @@ from repro.search import (
     SearchResult,
     SearchSpace,
     Supernet,
+    TrainCheckpoint,
     TrainConfig,
     TrainLog,
     get_aim,
@@ -293,12 +298,97 @@ class SpecifyStage(Stage):
         return ctx.space
 
 
+class StoreTrainCheckpointer:
+    """Epoch-granular training checkpoints through an :class:`ArtifactStore`.
+
+    Implements the checkpointer protocol of
+    :func:`repro.search.trainer.train_supernet`.  Every save writes one
+    *single* ``.npz`` artifact holding the model and optimizer arrays
+    plus a ``meta`` entry (the JSON bookkeeping — epoch count, loss
+    history, RNG state and a context key — encoded as a ``uint8``
+    byte array), so the whole checkpoint is published by one atomic
+    rename: a killed run can never leave a torn half-checkpoint, and
+    any unreadable or context-mismatched file simply loads as ``None``
+    (costing a fresh run, never a wrong resume).
+
+    The context key binds a checkpoint to the spec fingerprint and the
+    effective training hyper-parameters minus ``train_mode`` — the fast
+    and reference trajectories are bit-identical, so a run may switch
+    modes and still resume its partial epochs.
+    """
+
+    ARTIFACT = "train_checkpoint"
+    _META = "meta"
+    _MODEL = "model/"
+    _OPTIM = "optim/"
+
+    def __init__(self, store: ArtifactStore, context: str) -> None:
+        self.store = store
+        self.context = str(context)
+
+    @staticmethod
+    def context_key(spec_fingerprint: str, config: TrainConfig) -> str:
+        """Checkpoint validity key (fingerprint + mode-free config)."""
+        payload = dataclasses.asdict(config)
+        payload.pop("train_mode")
+        return spec_fingerprint + ":" + json.dumps(payload, sort_keys=True)
+
+    def save(self, checkpoint: TrainCheckpoint) -> None:
+        meta = {
+            "context": self.context,
+            "epochs_done": checkpoint.epochs_done,
+            "epoch_losses": checkpoint.epoch_losses,
+            "steps": checkpoint.steps,
+            "wall_seconds": checkpoint.wall_seconds,
+            "rng_state": checkpoint.rng_state,
+            "stochastic_state": checkpoint.stochastic_state,
+        }
+        arrays = {self._META: np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
+        for key, value in checkpoint.model_state.items():
+            arrays[self._MODEL + key] = value
+        for key, value in checkpoint.optimizer_state.items():
+            arrays[self._OPTIM + key] = value
+        self.store.save_state(self.ARTIFACT, arrays)
+
+    def load(self) -> Optional[TrainCheckpoint]:
+        if not self.store.has_state(self.ARTIFACT):
+            return None
+        try:
+            arrays = self.store.load_state(self.ARTIFACT)
+            meta = json.loads(bytes(arrays[self._META]).decode("utf-8"))
+        except Exception:  # torn/foreign file == no checkpoint
+            return None
+        if not isinstance(meta, dict) or meta.get("context") != self.context:
+            return None
+        model_state = {key[len(self._MODEL):]: value
+                       for key, value in arrays.items()
+                       if key.startswith(self._MODEL)}
+        optimizer_state = {key[len(self._OPTIM):]: value
+                           for key, value in arrays.items()
+                           if key.startswith(self._OPTIM)}
+        return TrainCheckpoint(
+            epochs_done=int(meta["epochs_done"]),
+            epoch_losses=[float(x) for x in meta["epoch_losses"]],
+            steps=int(meta["steps"]),
+            wall_seconds=float(meta["wall_seconds"]),
+            rng_state=meta["rng_state"],
+            model_state=model_state,
+            optimizer_state=optimizer_state,
+            stochastic_state=meta.get("stochastic_state"),
+        )
+
+
 class TrainStage(Stage):
     """Phase 2 — one-shot SPOS supernet training.
 
     Inputs: specify-stage outputs plus ``spec.train``.  Outputs:
-    ``train_log`` and trained ``supernet`` weights.  Resumable: restores
-    the weights and log from ``supernet_weights.npz``/``train_log.json``.
+    ``train_log`` and trained ``supernet`` weights.  Resumable at two
+    granularities: a finished run restores weights and log from
+    ``supernet_weights.npz``/``train_log.json``, and an *interrupted*
+    run resumes from the epoch-granular ``train_checkpoint.npz``
+    (written after every completed epoch, removed once the final
+    artifacts are persisted) without re-paying any completed epoch.
     """
 
     name = "train"
@@ -318,10 +408,20 @@ class TrainStage(Stage):
             return ctx.train_log
         return super().execute(ctx)
 
+    def _checkpointer(self, ctx: PipelineContext,
+                      config: TrainConfig) -> Optional[StoreTrainCheckpointer]:
+        if ctx.store is None:
+            return None
+        return StoreTrainCheckpointer(
+            ctx.store, StoreTrainCheckpointer.context_key(
+                ctx.spec.fingerprint(), config))
+
     def _train(self, ctx: PipelineContext, config: TrainConfig) -> None:
+        checkpointer = self._checkpointer(ctx, config)
         ctx.train_log = train_supernet(
             ctx.supernet, ctx.splits.train, config,
-            rng=derive_seed(ctx.spec.seed, 6))
+            rng=derive_seed(ctx.spec.seed, 6),
+            checkpoint=checkpointer)
 
     def resume(self, ctx: PipelineContext) -> bool:
         store = ctx.store
@@ -339,6 +439,8 @@ class TrainStage(Stage):
     def persist(self, ctx: PipelineContext) -> None:
         ctx.store.save_json(self.ARTIFACT, ctx.train_log.to_dict())
         ctx.store.save_state(self.WEIGHTS, ctx.supernet.state_dict())
+        # The final artifacts supersede the in-progress checkpoint.
+        ctx.store.delete_state(StoreTrainCheckpointer.ARTIFACT)
 
     def result(self, ctx: PipelineContext) -> TrainLog:
         return ctx.train_log
@@ -498,6 +600,7 @@ __all__ = [
     "SearchStage",
     "SpecifyStage",
     "Stage",
+    "StoreTrainCheckpointer",
     "TrainStage",
     "build_design",
     "build_supernet",

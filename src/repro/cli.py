@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import json
 import sys
 from typing import List, Optional
@@ -87,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluation worker processes (overrides the "
                             "spec's num_workers; results are bit-identical "
                             "for every worker count)")
+    p_run.add_argument("--train-mode", choices=["fast", "reference"],
+                       default=None,
+                       help="training execution path (overrides the spec's "
+                            "train.train_mode; the paths are bit-identical, "
+                            "fast is the default)")
     p_run.add_argument("--json", action="store_true", dest="as_json",
                        help="print the full result digest as JSON")
     p_run.add_argument("--export-deployment", default=None, metavar="DIR",
@@ -133,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation worker processes (default: 1; results are "
              "bit-identical for every worker count)")
     p_search.add_argument(
+        "--train-mode", choices=["fast", "reference"], default="fast",
+        help="training execution path (bit-identical; default: fast)")
+    p_search.add_argument(
         "--store", default=None,
         help="optional artifact-store root; enables resume")
 
@@ -170,7 +179,9 @@ def _spec_from_args(args: argparse.Namespace, *,
         seed=args.seed,
         num_workers=(args.workers if getattr(args, "workers", None)
                      is not None else 1),
-        train=TrainSpec(epochs=args.epochs),
+        train=TrainSpec(epochs=args.epochs,
+                        train_mode=getattr(args, "train_mode", None)
+                        or "fast"),
         search=SearchSpec(aims=tuple(aims) if aims else ("accuracy",),
                           evolution=evolution))
 
@@ -209,6 +220,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         # bit-identical to serial), so the override still resumes the
         # spec's persisted artifacts.
         spec = spec.with_updates(num_workers=args.workers)
+    if args.train_mode is not None:
+        # train_mode is fingerprint-excluded too (the fast path is
+        # bit-identical to the reference trajectory), so switching
+        # modes also keeps resuming persisted artifacts.
+        spec = spec.with_updates(train=dataclasses.replace(
+            spec.train, train_mode=args.train_mode))
     runner = Runner(spec,
                     store_root=None if args.no_store else args.store)
     result = runner.run()

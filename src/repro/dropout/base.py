@@ -127,6 +127,29 @@ class DropoutLayer(Module):
         """Rewind the sample counter (start a fresh MC estimate)."""
         self._sample_index = 0
 
+    def stochastic_state(self) -> dict:
+        """JSON-able snapshot of the layer's random-stream state.
+
+        Captures the generator state and the MC sample counter —
+        everything an epoch-granular training checkpoint needs to
+        continue this layer's mask stream exactly where it stopped.
+        Subclasses with derived random state (the Masksembles family)
+        extend the dict.  Inverted by :meth:`load_stochastic_state`.
+        """
+        return {
+            "rng_state": self.rng.bit_generator.state,
+            "sample_index": int(self._sample_index),
+        }
+
+    def load_stochastic_state(self, state: dict) -> None:
+        """Restore a :meth:`stochastic_state` snapshot in place.
+
+        The generator object is mutated, not replaced, so layers that
+        share one stream (a slot's whole choice bank) keep sharing it.
+        """
+        self.rng.bit_generator.state = state["rng_state"]
+        self._sample_index = int(state["sample_index"])
+
     def reseed(self, seed: SeedLike) -> None:
         """Replace the layer's random stream and rewind the counter.
 

@@ -135,6 +135,28 @@ class Masksembles(DropoutLayer):
         self._masks: Optional[np.ndarray] = None
         self._num_features: Optional[int] = None
 
+    def stochastic_state(self) -> dict:
+        """Extend the base snapshot with the derived mask family.
+
+        The family is generated lazily *from* the random stream, so a
+        checkpoint taken after generation must carry the family itself:
+        restoring only the post-generation stream into a fresh layer
+        would regenerate the family from the wrong point of the stream.
+        """
+        state = super().stochastic_state()
+        state["masks"] = (None if self._masks is None
+                          else self._masks.tolist())
+        state["num_features"] = self._num_features
+        return state
+
+    def load_stochastic_state(self, state: dict) -> None:
+        super().load_stochastic_state(state)
+        masks = state["masks"]
+        self._masks = (None if masks is None
+                       else np.asarray(masks, dtype=np.int8))
+        self._num_features = (None if state["num_features"] is None
+                              else int(state["num_features"]))
+
     def reseed(self, seed: SeedLike) -> None:
         """Reseed and drop the cached family so it regenerates.
 

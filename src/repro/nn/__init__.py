@@ -8,6 +8,12 @@ and (de)serialization — everything the dropout-search framework needs.
 from repro.nn.activations import Flatten, LeakyReLU, ReLU
 from repro.nn.container import Sequential
 from repro.nn.conv import Conv2d
+from repro.nn.fastpath import (
+    TrainWorkspace,
+    current_workspace,
+    fast_training,
+    is_fast_training,
+)
 from repro.nn.functional import (
     col2im,
     conv_output_size,
@@ -53,11 +59,15 @@ __all__ = [
     "ReLU",
     "Sequential",
     "StepLR",
+    "TrainWorkspace",
     "col2im",
     "conv_output_size",
     "current_mc_batch",
+    "current_workspace",
+    "fast_training",
     "im2col",
     "inference_mode",
+    "is_fast_training",
     "is_inference",
     "load_checkpoint",
     "log_softmax",

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn import init
+from repro.nn.fastpath import current_workspace
 from repro.nn.functional import col2im, conv_output_size, im2col
 from repro.nn.inference import is_inference
 from repro.nn.module import Module, Parameter
@@ -21,6 +22,15 @@ class Conv2d(Module):
     single matrix multiply per batch — the same lowering the HLS
     accelerator model assumes, which keeps algorithm-side MAC counts and
     hardware-side cycle estimates consistent.
+
+    The backward pass is two GEMMs over the same lowering: one
+    flattened ``(F, N*L) @ (N*L, CKK)`` product for the weight gradient
+    and one broadcast batch of per-image ``(CKK, F) @ (F, L)`` products
+    for the column gradient, which :func:`col2im` scatters back to
+    image form.  Under an active training workspace
+    (:mod:`repro.nn.fastpath`) every intermediate is written into a
+    persistent per-layer buffer instead of a fresh allocation; the
+    floats are bitwise-identical either way.
 
     Args:
         in_channels: input channel count ``C``.
@@ -65,7 +75,13 @@ class Conv2d(Module):
                 f"expected {self.in_channels} input channels, got {c}"
             )
         oh, ow = self.output_shape(h, w)
-        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        ckk = c * self.kernel_size * self.kernel_size
+        ws = current_workspace() if not is_inference() else None
+        if ws is not None:
+            cols = im2col(x, self.kernel_size, self.stride, self.padding,
+                          out=ws.buffer(self, "cols", (n, ckk, oh * ow)))
+        else:
+            cols = im2col(x, self.kernel_size, self.stride, self.padding)
         if is_inference():
             self._cols = None
             self._x_shape = None
@@ -79,7 +95,12 @@ class Conv2d(Module):
         # bitwise invariance the batched MC engine's equivalence
         # contract relies on (an einsum contraction may switch paths
         # with N and break it).
-        y = np.matmul(w2d, cols)
+        if ws is not None:
+            y = np.matmul(w2d, cols,
+                          out=ws.buffer(self, "y", (n, self.out_channels,
+                                                    oh * ow)))
+        else:
+            y = np.matmul(w2d, cols)
         if self.bias is not None:
             np.add(y, self.bias.data[None, :, None], out=y)
         return y.reshape(n, self.out_channels, oh, ow)
@@ -88,15 +109,47 @@ class Conv2d(Module):
         if self._cols is None or self._x_shape is None:
             raise RuntimeError("backward called before forward")
         n = grad_out.shape[0]
-        g = grad_out.reshape(n, self.out_channels, -1)  # (N, F, L)
-        w2d = self.weight.data.reshape(self.out_channels, -1)
-        grad_w = np.einsum("nfl,nkl->fk", g, self._cols, optimize=True)
+        f = self.out_channels
+        cols = self._cols
+        ckk = cols.shape[1]
+        l = cols.shape[2]
+        g = grad_out.reshape(n, f, -1)  # (N, F, L)
+        w2d = self.weight.data.reshape(f, -1)
+        ws = current_workspace()
+        # grad_w: one flattened (F, N*L) @ (N*L, CKK) GEMM.  The two
+        # operands are gathered into contiguous layout first (that copy
+        # is what the einsum formulation also paid, hidden inside the
+        # contraction) — into persistent buffers on the fast path.
+        if ws is not None:
+            gt = ws.buffer(self, "gt", (f, n, l))
+            np.copyto(gt, g.transpose(1, 0, 2))
+            colst = ws.buffer(self, "colst", (n, l, ckk))
+            np.copyto(colst, cols.transpose(0, 2, 1))
+            grad_w = np.matmul(gt.reshape(f, n * l),
+                               colst.reshape(n * l, ckk),
+                               out=ws.buffer(self, "gw", (f, ckk)))
+        else:
+            gt = np.ascontiguousarray(g.transpose(1, 0, 2))
+            colst = np.ascontiguousarray(cols.transpose(0, 2, 1))
+            grad_w = np.matmul(gt.reshape(f, n * l),
+                               colst.reshape(n * l, ckk))
         self.weight.grad += grad_w.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += g.sum(axis=(0, 2))
-        grad_cols = np.einsum("fk,nfl->nkl", w2d, g, optimize=True)
-        grad_x = col2im(grad_cols, self._x_shape, self.kernel_size,
-                        self.stride, self.padding)
+        # grad_cols: broadcast batch of per-image (CKK, F) @ (F, L)
+        # GEMMs, mirroring the forward's per-image batching.
+        if ws is not None:
+            grad_cols = np.matmul(w2d.T, g,
+                                  out=ws.buffer(self, "gcols", (n, ckk, l)))
+            hp = self._x_shape[2] + 2 * self.padding
+            wp = self._x_shape[3] + 2 * self.padding
+            gx_buf = ws.buffer(self, "gx", (n, self._x_shape[1], hp, wp))
+            grad_x = col2im(grad_cols, self._x_shape, self.kernel_size,
+                            self.stride, self.padding, out=gx_buf)
+        else:
+            grad_cols = np.matmul(w2d.T, g)
+            grad_x = col2im(grad_cols, self._x_shape, self.kernel_size,
+                            self.stride, self.padding)
         self._cols = None
         self._x_shape = None
         return grad_x

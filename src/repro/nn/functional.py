@@ -36,7 +36,8 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int,
+           out: np.ndarray = None) -> np.ndarray:
     """Lower sliding windows of ``x`` to columns.
 
     Args:
@@ -44,6 +45,9 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
         kernel: square kernel size.
         stride: window stride.
         padding: symmetric zero padding.
+        out: optional preallocated ``(N, C*kernel*kernel, OH*OW)``
+            destination (training fast path); the gather is written in
+            place instead of allocating, with bitwise-identical values.
 
     Returns:
         Array of shape ``(N, C * kernel * kernel, OH * OW)`` where each
@@ -57,27 +61,47 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
     windows = np.lib.stride_tricks.sliding_window_view(xp, (kernel, kernel), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
     # -> (N, C, KH, KW, OH, OW) -> (N, C*KH*KW, OH*OW)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, oh * ow)
-    return np.ascontiguousarray(cols, dtype=DTYPE)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3)
+    if out is None:
+        return np.ascontiguousarray(
+            cols.reshape(n, c * kernel * kernel, oh * ow), dtype=DTYPE)
+    np.copyto(out.reshape(n, c, kernel, kernel, oh, ow), cols)
+    return out
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int,
-           stride: int, padding: int) -> np.ndarray:
+           stride: int, padding: int, out: np.ndarray = None) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back to image form.
+
+    Contributions are accumulated per ``(ki, kj)`` window offset in a
+    fixed row-major order, so the summation order — and therefore the
+    floats — is identical whether ``out`` is freshly allocated or a
+    reused workspace buffer.
 
     Args:
         cols: array of shape ``(N, C * kernel * kernel, OH * OW)``.
         x_shape: original ``(N, C, H, W)`` input shape.
         kernel, stride, padding: the window sweep parameters used forward.
+        out: optional preallocated padded ``(N, C, H+2p, W+2p)``
+            accumulator (training fast path); zeroed, accumulated into
+            in place, and sliced for the return value.
 
     Returns:
-        Array of shape ``x_shape`` with overlapping contributions summed.
+        Array of shape ``x_shape`` with overlapping contributions summed
+        (a view into ``out`` when padding is non-zero and ``out`` given).
     """
     n, c, h, w = x_shape
     oh = conv_output_size(h, kernel, stride, padding)
     ow = conv_output_size(w, kernel, stride, padding)
     hp, wp = h + 2 * padding, w + 2 * padding
-    out = np.zeros((n, c, hp, wp), dtype=DTYPE)
+    if out is None:
+        out = np.zeros((n, c, hp, wp), dtype=DTYPE)
+    else:
+        if out.shape != (n, c, hp, wp):
+            raise ValueError(
+                f"col2im out buffer has shape {out.shape}, "
+                f"expected {(n, c, hp, wp)}")
+        out.fill(0.0)
     cols6 = cols.reshape(n, c, kernel, kernel, oh, ow)
     for ki in range(kernel):
         i_end = ki + stride * oh
@@ -102,8 +126,8 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return z - np.log(np.sum(np.exp(z), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer ``labels`` of shape ``(N,)`` as ``(N, num_classes)``."""
+def check_labels(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Validate integer class labels: 1-D and within ``[0, num_classes)``."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
@@ -112,6 +136,12 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), "
             f"got range [{labels.min()}, {labels.max()}]"
         )
+    return labels
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` of shape ``(N,)`` as ``(N, num_classes)``."""
+    labels = check_labels(labels, num_classes)
     out = np.zeros((labels.shape[0], num_classes), dtype=DTYPE)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

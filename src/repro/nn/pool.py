@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.fastpath import TrainWorkspace, current_workspace
 from repro.nn.functional import conv_output_size, pad2d
 from repro.nn.inference import is_inference
 from repro.nn.module import DTYPE, Module
@@ -41,6 +42,8 @@ class MaxPool2d(Module):
         self.padding = int(padding)
         self._argmax: Optional[np.ndarray] = None
         self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._xp: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
 
     def output_shape(self, h: int, w: int) -> Tuple[int, int]:
         """Spatial output size for an ``(h, w)`` input."""
@@ -48,21 +51,65 @@ class MaxPool2d(Module):
         ow = conv_output_size(w, self.kernel_size, self.stride, self.padding)
         return oh, ow
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        x = check_shape_4d(x, "x")
-        if is_inference():
-            self._argmax = None
-            self._x_shape = None
-            return self._forward_inference(x)
-        self._x_shape = x.shape
-        xp = x if self.padding == 0 else np.pad(
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        return np.pad(
             x, ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
             mode="constant", constant_values=-np.inf)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = check_shape_4d(x, "x")
+        self._argmax = None
+        self._x_shape = None
+        self._xp = None
+        self._out = None
+        if is_inference():
+            return self._forward_inference(x)
+        if current_workspace() is not None:
+            return self._forward_fast(x)
+        self._x_shape = x.shape
+        xp = self._padded(x)
         win = _windows(xp, self.kernel_size, self.stride)
         n, c, oh, ow = win.shape[:4]
         flat = win.reshape(n, c, oh, ow, -1)
         self._argmax = flat.argmax(axis=-1)
         return np.ascontiguousarray(flat.max(axis=-1), dtype=DTYPE)
+
+    def _forward_fast(self, x: np.ndarray) -> np.ndarray:
+        """Training forward without the ``kernel^2``-sized window copy.
+
+        Accumulates ``np.maximum`` over the ``kernel^2`` strided window
+        offsets into a persistent buffer — the same sequential-reduce
+        order as the reference path's ``flat.max``, so the output
+        (including ``-0.0``/``+0.0`` tie resolution, which ``max``
+        settles in favor of the *later* operand) is bitwise-identical.
+        No argmax is materialized; the backward pass recovers the
+        winning offsets from the cached padded input and output
+        (first window position comparing equal to the maximum — exactly
+        ``argmax``'s first-of-the-maxima semantics).
+        """
+        _, _, h, w = x.shape
+        k = self.kernel_size
+        stride = self.stride
+        self._x_shape = x.shape
+        xp = self._padded(x)
+        oh = conv_output_size(h, k, stride, self.padding)
+        ow = conv_output_size(w, k, stride, self.padding)
+        ws = current_workspace()
+        out = ws.buffer(self, "max", (x.shape[0], x.shape[1], oh, ow))
+        for di in range(k):
+            for dj in range(k):
+                window = xp[:, :, di:di + stride * oh:stride,
+                            dj:dj + stride * ow:stride]
+                if di == 0 and dj == 0:
+                    np.copyto(out, window)
+                else:
+                    np.maximum(out, window, out=out)
+        self._argmax = None
+        self._xp = xp
+        self._out = out
+        return out
 
     def _forward_inference(self, x: np.ndarray) -> np.ndarray:
         """Max without the argmax indices or the window copy.
@@ -76,9 +123,7 @@ class MaxPool2d(Module):
         _, _, h, w = x.shape
         k = self.kernel_size
         stride = self.stride
-        xp = x if self.padding == 0 else np.pad(
-            x, ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
-            mode="constant", constant_values=-np.inf)
+        xp = self._padded(x)
         oh = conv_output_size(h, k, stride, self.padding)
         ow = conv_output_size(w, k, stride, self.padding)
         out: Optional[np.ndarray] = None
@@ -92,8 +137,11 @@ class MaxPool2d(Module):
         return out.astype(DTYPE, copy=False)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._argmax is None or self._x_shape is None:
+        if self._x_shape is None or (self._argmax is None
+                                     and self._out is None):
             raise RuntimeError("backward called before forward")
+        if self._out is not None:
+            return self._backward_fast(grad_out)
         n, c, h, w = self._x_shape
         hp, wp = h + 2 * self.padding, w + 2 * self.padding
         grad_pad = np.zeros((n, c, hp, wp), dtype=DTYPE)
@@ -112,6 +160,56 @@ class MaxPool2d(Module):
                                 self.padding:-self.padding]
         self._argmax = None
         self._x_shape = None
+        return grad_pad
+
+    def _backward_fast(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scatter-free backward: ``kernel^2`` vectorized offset adds.
+
+        Replaces the reference path's ``np.add.at`` (an element-at-a-time
+        scatter over four index arrays it must also materialize) with one
+        masked add per window offset, in fixed row-major offset order.
+        The winning offset of each window is recovered by comparing the
+        cached padded input against the cached maxima, claimed
+        first-match-wins — exactly the reference ``argmax``'s
+        first-of-the-maxima semantics (``-0.0 == +0.0``, so sign-zero
+        ties select the same offset too).  Windows that never overlap
+        (``stride >= kernel_size`` — every zoo model) give each input
+        cell at most one contribution, so the result is
+        bitwise-identical to the scatter; overlapping windows sum
+        colliding contributions in per-offset instead of flat-index
+        order, a deterministic ulp-level reordering (gradcheck-verified).
+        """
+        n, c, h, w = self._x_shape
+        k = self.kernel_size
+        hp, wp = h + 2 * self.padding, w + 2 * self.padding
+        # A throwaway pool covers the (test-only) case of a fast
+        # forward whose backward runs outside the context.
+        ws = current_workspace() or TrainWorkspace()
+        out = self._out
+        grad_pad = ws.zeros(self, "grad_pad", (n, c, hp, wp))
+        oh, ow = grad_out.shape[2:]
+        contrib = ws.buffer(self, "contrib", out.shape)
+        sel = ws.buffer(self, "sel", out.shape, bool)
+        unclaimed = ws.buffer(self, "unclaimed", out.shape, bool)
+        unclaimed.fill(True)
+        for di in range(k):
+            for dj in range(k):
+                window = self._xp[:, :, di:di + self.stride * oh:self.stride,
+                                  dj:dj + self.stride * ow:self.stride]
+                np.equal(window, out, out=sel)
+                # First equal offset wins, matching argmax.
+                np.logical_and(sel, unclaimed, out=sel)
+                # sel is a subset of unclaimed, so xor clears exactly it.
+                np.logical_xor(unclaimed, sel, out=unclaimed)
+                np.multiply(grad_out, sel, out=contrib)
+                grad_pad[:, :, di:di + self.stride * oh:self.stride,
+                         dj:dj + self.stride * ow:self.stride] += contrib
+        if self.padding:
+            grad_pad = grad_pad[:, :, self.padding:-self.padding,
+                                self.padding:-self.padding]
+        self._x_shape = None
+        self._xp = None
+        self._out = None
         return grad_pad
 
     def __repr__(self) -> str:
@@ -135,7 +233,9 @@ class AvgPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = check_shape_4d(x, "x")
-        self._x_shape = x.shape
+        # Parity with MaxPool2d/Conv2d: no backward state is retained
+        # under inference mode.
+        self._x_shape = None if is_inference() else x.shape
         xp = pad2d(x, self.padding)
         win = _windows(xp, self.kernel_size, self.stride)
         return np.ascontiguousarray(win.mean(axis=(-2, -1)), dtype=DTYPE)
@@ -145,7 +245,11 @@ class AvgPool2d(Module):
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._x_shape
         hp, wp = h + 2 * self.padding, w + 2 * self.padding
-        grad_pad = np.zeros((n, c, hp, wp), dtype=DTYPE)
+        ws = current_workspace()
+        if ws is not None:
+            grad_pad = ws.zeros(self, "grad_pad", (n, c, hp, wp))
+        else:
+            grad_pad = np.zeros((n, c, hp, wp), dtype=DTYPE)
         oh, ow = grad_out.shape[2:]
         share = grad_out / (self.kernel_size * self.kernel_size)
         for ki in range(self.kernel_size):
@@ -172,7 +276,9 @@ class GlobalAvgPool2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = check_shape_4d(x, "x")
-        self._x_shape = x.shape
+        # Parity with MaxPool2d/Conv2d: no backward state is retained
+        # under inference mode.
+        self._x_shape = None if is_inference() else x.shape
         return np.ascontiguousarray(x.mean(axis=(2, 3)), dtype=DTYPE)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -58,6 +58,9 @@ from repro.search.space import (
 )
 from repro.search.supernet import Supernet
 from repro.search.trainer import (
+    TRAIN_MODES,
+    MemoryCheckpointer,
+    TrainCheckpoint,
     TrainConfig,
     TrainLog,
     train_standalone,
@@ -74,7 +77,9 @@ __all__ = [
     "MAXIMIZE",
     "METRIC_DIRECTIONS",
     "MINIMIZE",
+    "TRAIN_MODES",
     "BatchedEvaluator",
+    "MemoryCheckpointer",
     "MultiObjectiveResult",
     "MultiObjectiveSearch",
     "ParallelEvaluator",
@@ -90,6 +95,7 @@ __all__ = [
     "SearchSpace",
     "SlotSpec",
     "Supernet",
+    "TrainCheckpoint",
     "TrainConfig",
     "TrainLog",
     "best_by_aim",

@@ -92,6 +92,46 @@ class Supernet(Module):
         return [slot.active for slot in self._slots]
 
     # ------------------------------------------------------------------
+    # Stochastic state (epoch-granular training checkpoints)
+    # ------------------------------------------------------------------
+    def stochastic_state(self) -> List[dict]:
+        """JSON-able random-stream state of every bank design.
+
+        SPOS training advances the mask streams of whichever designs
+        the sampled paths activate, so resuming a checkpointed run
+        bit-exactly requires restoring the stream of *every* design in
+        every slot's choice bank — not just the weights.  One entry per
+        slot, in network order; inverted by :meth:`load_stochastic_state`.
+        """
+        state = []
+        for slot in self._slots:
+            state.append({
+                "name": slot.name,
+                "designs": {code: slot.bank[code].stochastic_state()
+                            for code in sorted(slot.bank)},
+            })
+        return state
+
+    def load_stochastic_state(self, state: List[dict]) -> None:
+        """Restore a :meth:`stochastic_state` snapshot in place."""
+        if len(state) != len(self._slots):
+            raise ValueError(
+                f"stochastic state has {len(state)} slot entries, "
+                f"expected {len(self._slots)}")
+        for slot, entry in zip(self._slots, state):
+            if entry.get("name") != slot.name:
+                raise ValueError(
+                    f"stochastic state entry {entry.get('name')!r} does "
+                    f"not match slot {slot.name!r}")
+            designs = entry["designs"]
+            if sorted(designs) != sorted(slot.bank):
+                raise ValueError(
+                    f"stochastic state designs {sorted(designs)} do not "
+                    f"match slot {slot.name!r} bank {sorted(slot.bank)}")
+            for code, design_state in designs.items():
+                slot.bank[code].load_stochastic_state(design_state)
+
+    # ------------------------------------------------------------------
     # Module interface — delegate to the backbone
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

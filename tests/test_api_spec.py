@@ -155,6 +155,27 @@ class TestIdentity:
         assert a.fingerprint() == b.fingerprint()
         assert a.evaluation_fingerprint() == b.evaluation_fingerprint()
 
+    def test_fingerprint_ignores_train_mode(self):
+        # The training fast path is bit-identical to the reference
+        # trajectory, so switching modes must still resume artifacts.
+        a = ExperimentSpec(seed=5, train=TrainSpec(train_mode="fast"))
+        b = ExperimentSpec(seed=5, train=TrainSpec(train_mode="reference"))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.evaluation_fingerprint() == b.evaluation_fingerprint()
+        # Other train fields still change identity.
+        c = ExperimentSpec(seed=5, train=TrainSpec(epochs=9))
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_train_mode_round_trips_and_validates(self):
+        spec = ExperimentSpec(train=TrainSpec(train_mode="reference"))
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone.train.train_mode == "reference"
+        assert clone.train.to_config().train_mode == "reference"
+        with pytest.raises(ValueError):
+            TrainSpec(train_mode="turbo")
+        with pytest.raises(SpecError):
+            TrainSpec.from_dict({"train_mode": "turbo"})
+
     def test_evaluation_fingerprint_ignores_search_plan(self):
         # Which candidates get evaluated is the search plan's business;
         # what one evaluation returns is not — budget sweeps share the

@@ -119,11 +119,18 @@ class TestRunCommand:
         assert "Latency Optimal" in out
         assert "Synthesis Report" in out
         assert "resumed" not in out
-        # Second invocation resumes from the persisted artifacts.
-        assert main(argv) == 0
+        # Second invocation resumes from the persisted artifacts — here
+        # with the other (bit-identical, fingerprint-excluded) training
+        # path selected, which must not invalidate resume.
+        assert main(argv + ["--train-mode", "reference"]) == 0
         out = capsys.readouterr().out
         assert "resumed from artifacts" in out
         assert "train" in out
+
+    def test_run_rejects_unknown_train_mode(self, spec_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--spec", str(spec_file), "--train-mode", "turbo"])
 
     def test_run_json_output(self, spec_file, tmp_path, capsys):
         code = main(["run", "--spec", str(spec_file),

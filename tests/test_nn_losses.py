@@ -83,3 +83,64 @@ class TestBackward:
         crit.backward()
         with pytest.raises(RuntimeError):
             crit.backward()
+
+
+def _dense_reference(logits, labels, num_classes):
+    """The historic dense one-hot formulation, kept as the oracle."""
+    from repro.nn.functional import one_hot
+
+    soft = one_hot(labels, num_classes)
+    logp = log_softmax(logits, axis=1)
+    probs = softmax(logits, axis=1)
+    n = logits.shape[0]
+    loss = float(-(soft * logp).sum() / n)
+    grad = ((probs - soft) / n).astype(np.float32)
+    return loss, grad
+
+
+class TestIndexGatherRegression:
+    """The one-hot-free unsmoothed path is bit-identical to the dense
+    formulation it replaced, forward and backward."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bitwise_vs_dense_formulation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 130))
+        k = int(rng.integers(2, 15))
+        scale = float(rng.uniform(0.5, 40.0))
+        logits = (rng.normal(size=(n, k)) * scale).astype(np.float32)
+        labels = rng.integers(0, k, size=n)
+        ref_loss, ref_grad = _dense_reference(logits, labels, k)
+        crit = nn.CrossEntropyLoss()
+        loss = crit(logits, labels)
+        grad = crit.backward()
+        assert loss == ref_loss
+        assert grad.dtype == ref_grad.dtype
+        assert grad.tobytes() == ref_grad.tobytes()
+
+    def test_saturated_logits_bitwise(self):
+        logits = np.array([[80.0, 0.0, -80.0], [0.0, 0.0, 0.0]],
+                          dtype=np.float32)
+        labels = np.array([0, 2])
+        ref_loss, ref_grad = _dense_reference(logits, labels, 3)
+        crit = nn.CrossEntropyLoss()
+        assert crit(logits, labels) == ref_loss
+        assert crit.backward().tobytes() == ref_grad.tobytes()
+
+    def test_float64_logits_keep_float64_loss_precision(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(8, 5))  # float64
+        labels = rng.integers(0, 5, size=8)
+        ref_loss, ref_grad = _dense_reference(logits, labels, 5)
+        crit = nn.CrossEntropyLoss()
+        assert crit(logits, labels) == ref_loss
+        grad = crit.backward()
+        assert grad.dtype == np.float32
+        assert grad.tobytes() == ref_grad.tobytes()
+
+    def test_label_validation_preserved(self):
+        crit = nn.CrossEntropyLoss()
+        with pytest.raises(ValueError, match="labels"):
+            crit(np.zeros((2, 3), dtype=np.float32), np.array([0, 3]))
+        with pytest.raises(ValueError, match="1-D"):
+            crit(np.zeros((2, 3), dtype=np.float32), np.array([[0], [1]]))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import nn
 from repro.nn.module import Parameter
@@ -92,6 +94,136 @@ class TestAdam:
             net.backward(crit.backward())
             opt.step()
         assert crit(net(x), y) < first * 0.3
+
+
+def _random_params(rng, num_params, max_dim=6):
+    params = []
+    for _ in range(num_params):
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(1, max_dim + 1)) for _ in range(ndim))
+        params.append(Parameter(rng.normal(size=shape)))
+    return params
+
+
+def _clone_params(params):
+    return [Parameter(p.data.copy()) for p in params]
+
+
+def _drive(opt, params, rng_seed, num_steps):
+    """Apply ``num_steps`` updates with a deterministic gradient stream."""
+    rng = np.random.default_rng(rng_seed)
+    for _ in range(num_steps):
+        opt.zero_grad()
+        for p in opt.params:
+            p.grad += rng.normal(size=p.data.shape).astype(np.float32)
+        opt.step()
+    return [p.data.copy() for p in params]
+
+
+class TestFusedBitIdentity:
+    """fused=True must replay the reference update stream bit for bit."""
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4), st.integers(1, 12),
+           st.sampled_from([0.0, 0.9]), st.sampled_from([0.0, 1e-2]),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_sgd(self, seed, num_params, num_steps, momentum, weight_decay,
+                 nesterov):
+        if nesterov and momentum == 0.0:
+            momentum = 0.9
+        rng = np.random.default_rng(seed)
+        ref_params = _random_params(rng, num_params)
+        fast_params = _clone_params(ref_params)
+        kwargs = dict(lr=0.05, momentum=momentum,
+                      weight_decay=weight_decay, nesterov=nesterov)
+        ref = _drive(nn.SGD(ref_params, **kwargs), ref_params, seed,
+                     num_steps)
+        fast = _drive(nn.SGD(fast_params, fused=True, **kwargs),
+                      fast_params, seed, num_steps)
+        for a, b in zip(ref, fast):
+            assert a.tobytes() == b.tobytes()
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4), st.integers(1, 12),
+           st.sampled_from([0.0, 1e-2]))
+    @settings(max_examples=25, deadline=None)
+    def test_adam(self, seed, num_params, num_steps, weight_decay):
+        rng = np.random.default_rng(seed)
+        ref_params = _random_params(rng, num_params)
+        fast_params = _clone_params(ref_params)
+        kwargs = dict(lr=3e-3, weight_decay=weight_decay)
+        ref = _drive(nn.Adam(ref_params, **kwargs), ref_params, seed,
+                     num_steps)
+        fast = _drive(nn.Adam(fast_params, fused=True, **kwargs),
+                      fast_params, seed, num_steps)
+        for a, b in zip(ref, fast):
+            assert a.tobytes() == b.tobytes()
+
+
+class TestOptimizerState:
+    """Index-keyed, serializable optimizer state (checkpoint contract)."""
+
+    @pytest.mark.parametrize("fused", [False, True])
+    @pytest.mark.parametrize("make", [
+        lambda params, fused: nn.SGD(params, lr=0.05, momentum=0.9,
+                                     fused=fused),
+        lambda params, fused: nn.Adam(params, lr=3e-3, fused=fused),
+    ])
+    def test_round_trip_resumes_bitwise(self, make, fused):
+        rng = np.random.default_rng(42)
+        params_a = _random_params(rng, 3)
+        params_b = _clone_params(params_a)
+        opt_a = make(params_a, fused)
+        _drive(opt_a, params_a, 7, 5)
+        state = opt_a.state_dict()
+        # Serialized arrays are copies, not views of live buffers.
+        for value in state.values():
+            value.flags.writeable = False
+        continued_a = _drive(opt_a, params_a, 8, 5)
+
+        # Bring the clone to the same 5-step point, then resume it from
+        # the serialized state on the *other* execution path.
+        throwaway = make(params_b, fused)
+        _drive(throwaway, params_b, 7, 5)
+        resumed = make(params_b, not fused)
+        resumed.load_state_dict(state)
+        continued_b = _drive(resumed, params_b, 8, 5)
+        for a, b in zip(continued_a, continued_b):
+            assert a.tobytes() == b.tobytes()
+
+    def test_state_keys_are_index_based(self):
+        params = [Parameter(np.zeros(2)), Parameter(np.zeros(3))]
+        opt = nn.SGD(params, lr=0.1, momentum=0.9)
+        _drive(opt, params, 0, 1)
+        assert sorted(opt.state_dict()) == ["velocity.0", "velocity.1"]
+        opt2 = nn.Adam(params, lr=0.1)
+        _drive(opt2, params, 0, 1)
+        assert sorted(opt2.state_dict()) == ["m.0", "m.1", "t", "v.0", "v.1"]
+
+    def test_state_survives_id_reuse(self):
+        # The historic hazard: id(p)-keyed state could silently attach a
+        # freed parameter's moments to an unrelated new parameter that
+        # reused its address.  Index keying is immune: state follows the
+        # position in the params list, never the object identity.
+        params = [Parameter(np.ones(4))]
+        opt = nn.SGD(params, lr=0.1, momentum=0.9)
+        _drive(opt, params, 0, 3)
+        velocity = opt._velocity[0].copy()
+        # Replace the parameter object in place (new id, same slot).
+        opt.params[0] = Parameter(np.ones(4))
+        assert np.array_equal(opt._velocity[0], velocity)
+
+    def test_load_rejects_bad_shapes_and_keys(self):
+        params = [Parameter(np.zeros(2))]
+        opt = nn.SGD(params, lr=0.1, momentum=0.9)
+        with pytest.raises(KeyError):
+            opt.load_state_dict({"m.0": np.zeros(2)})
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict({"velocity.0": np.zeros(3)})
+        with pytest.raises(KeyError, match="range"):
+            opt.load_state_dict({"velocity.5": np.zeros(2)})
+        adam = nn.Adam(params, lr=0.1)
+        with pytest.raises(KeyError, match="'t'"):
+            adam.load_state_dict({"m.0": np.zeros(2), "v.0": np.zeros(2)})
 
 
 class TestSchedulers:

@@ -98,3 +98,32 @@ class TestValidation:
     def test_3d_input_raises(self):
         with pytest.raises(ValueError):
             nn.MaxPool2d(2)(np.zeros((1, 4, 4), dtype=np.float32))
+
+
+class TestInferenceRetainsNoState:
+    """Parity contract: no pooling layer keeps backward state under
+    inference mode (MaxPool always had it; AvgPool/GlobalAvgPool were
+    retrofitted)."""
+
+    @pytest.mark.parametrize("layer_factory", [
+        lambda: nn.MaxPool2d(2),
+        lambda: nn.MaxPool2d(3, stride=2, padding=1),
+        lambda: nn.AvgPool2d(2),
+        lambda: nn.AvgPool2d(3, stride=2, padding=1),
+        lambda: nn.GlobalAvgPool2d(),
+    ])
+    def test_no_backward_state_under_inference(self, layer_factory):
+        x = np.random.default_rng(0).normal(size=(2, 3, 6, 6)).astype(
+            np.float32)
+        layer = layer_factory()
+        with nn.inference_mode():
+            y_inf = layer(x)
+        for attr, value in vars(layer).items():
+            if attr.startswith("_"):
+                assert value is None, (
+                    f"{layer!r} retained {attr} under inference mode")
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.ones_like(y_inf))
+        # And the inference output matches the training-mode forward.
+        y_train = layer_factory()(x)
+        assert np.array_equal(y_inf, y_train)
