@@ -1,0 +1,140 @@
+"""Fixed-point kernel inference — throughput and fidelity vs. float.
+
+The compiled integer kernel (:mod:`repro.hw.compile`) is the software
+twin of the FPGA datapath: every multiply-accumulate runs in int64
+with saturation and round-to-nearest-even, so its cost model is very
+different from the float engines (no BLAS behind integer ``matmul``).
+This bench measures both paths on the paper's LeNet workload at
+``T = 3`` and records the trade honestly: the fixed path exists for
+*bit-faithful hardware emulation*, not speed, so the gates are on
+**determinism** and **fidelity**, never on throughput.
+
+Emits ``BENCH_fixed_infer.json``:
+
+* rows/s through ``Deployment.predict`` (float) and
+  ``CompiledKernel.predict`` (fixed) with the same mask plans;
+* the float-vs-fixed :class:`FidelityReport` headline numbers;
+* the per-layer resolved formats the kernel executed with.
+
+Gates (smoke and full):
+
+* repeat fixed predictions are byte-identical (pure function);
+* fixed accuracy within 2 percentage points of float, argmax
+  agreement at least 0.9, bounded posterior/entropy drift.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.hw.compile import compile_deployment, measure_fidelity
+from repro.serve import Deployment
+
+#: LeNet's three slots: Bernoulli, Block, Masksembles — the paper's
+#: hybrid operating point.
+CONFIG = ("B", "K", "M")
+
+#: Monte-Carlo passes — the paper's serving T.
+NUM_SAMPLES = 3
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    """Compiled LeNet deployment + timing/fidelity parameters."""
+    smoke = bool(request.config.getoption("--bench-smoke"))
+    image_size = 16 if smoke else 28
+    rows = 16 if smoke else 64
+    reps = 2 if smoke else 5
+    fidelity_rows = 32 if smoke else 128
+    spec = ExperimentSpec(
+        name="bench-fixed-infer", model="lenet", dataset="mnist_like",
+        image_size=image_size, mc_samples=NUM_SAMPLES, seed=2)
+    deployment = Deployment.from_spec(
+        spec, (1, image_size, image_size), config=CONFIG)
+    kernel = compile_deployment(deployment, calibration_rows=rows)
+    rng = np.random.default_rng(0)
+    images = rng.normal(
+        size=(rows, 1, image_size, image_size)).astype(np.float32)
+    return deployment, kernel, images, reps, fidelity_rows, smoke
+
+
+def time_path(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time for one fused prediction call."""
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_fixed_inference(workload, bench_json, emit_table):
+    deployment, kernel, images, reps, fidelity_rows, smoke = workload
+    rows = images.shape[0]
+    model = deployment.instantiate()
+
+    # Warm-up both paths (allocator, mask-plan caches).
+    deployment.predict(model, images[:4], num_samples=NUM_SAMPLES)
+    kernel.predict(images[:4], num_samples=NUM_SAMPLES)
+
+    float_s = time_path(
+        lambda: deployment.predict(model, images,
+                                   num_samples=NUM_SAMPLES), reps)
+    fixed_s = time_path(
+        lambda: kernel.predict(images, num_samples=NUM_SAMPLES), reps)
+
+    # Gate 1: purity — repeat fixed predictions are byte-identical.
+    first = kernel.predict(images, num_samples=NUM_SAMPLES)
+    second = kernel.predict(images, num_samples=NUM_SAMPLES)
+    assert first.probs.tobytes() == second.probs.tobytes()
+
+    # Gate 2: fidelity within the acceptance envelope.
+    report = measure_fidelity(kernel, rows=fidelity_rows)
+    assert abs(report.accuracy_delta) <= 0.02
+    assert report.agreement >= 0.9
+    assert report.mean_probs_delta_max <= 0.05
+    assert report.entropy_delta_max <= 0.2
+
+    payload = {
+        "workload": {
+            "model": "lenet",
+            "config": "-".join(CONFIG),
+            "image_size": int(images.shape[-1]),
+            "rows": rows,
+            "num_samples": NUM_SAMPLES,
+            "smoke": smoke,
+        },
+        "throughput": {
+            "float_rows_per_s": rows / float_s,
+            "fixed_rows_per_s": rows / fixed_s,
+            "fixed_over_float": float_s / fixed_s,
+        },
+        "fidelity": report.to_dict(),
+        "formats": {
+            name: {
+                "activation": str(entry.activation),
+                "weight": (str(entry.weight)
+                           if entry.weight is not None else None),
+            }
+            for name, entry in kernel.resolved_formats().items()
+        },
+    }
+    bench_json("fixed_infer", payload)
+
+    emit_table(
+        "fixed_infer",
+        f"Fixed-point kernel vs float engines (LeNet {CONFIG}, "
+        f"T={NUM_SAMPLES}, {rows} rows)",
+        ["path", "rows/s", "accuracy", "ECE", "NLL"],
+        [
+            ["float", f"{rows / float_s:.1f}",
+             f"{report.float_accuracy:.4f}", f"{report.float_ece:.4f}",
+             f"{report.float_nll:.4f}"],
+            ["fixed", f"{rows / fixed_s:.1f}",
+             f"{report.fixed_accuracy:.4f}", f"{report.fixed_ece:.4f}",
+             f"{report.fixed_nll:.4f}"],
+        ])

@@ -7,7 +7,9 @@ layer, prints the searched configuration per aim plus the csynth-style
 report of the accuracy-optimal accelerator, then deploys the winner:
 the trained model is exported as a serving ``Deployment`` and a swarm
 of concurrent requests is answered through the async micro-batching
-``UncertaintyService``.
+``UncertaintyService``.  Finally the deployment is compiled down to
+the executable fixed-point kernel — the quantized integer twin of the
+FPGA datapath — and its measured float-vs-fixed fidelity is printed.
 
 Usage::
 
@@ -20,6 +22,7 @@ import tempfile
 import numpy as np
 
 from repro.api import (
+    ArtifactStore,
     EvolutionSpec,
     ExperimentSpec,
     GenerateSpec,
@@ -28,6 +31,7 @@ from repro.api import (
     SpecifyStage,
     TrainSpec,
 )
+from repro.hw.compile import compile_and_report
 from repro.search.space import config_to_string
 from repro.serve import Deployment, UncertaintyService
 
@@ -55,6 +59,21 @@ async def serve_round_trip(deployment: Deployment) -> None:
     print(f"Phase 5  {stats['requests']} requests in "
           f"{stats['batches']} fused batch(es), coalesce ratio "
           f"{stats['coalesce_ratio']:.1f}")
+
+
+async def fixed_backend_round_trip(deployment: Deployment,
+                                   kernel) -> None:
+    """One request through the fixed-point serving backend."""
+    rng = np.random.default_rng(1)
+    images = rng.normal(
+        size=(2,) + deployment.input_shape).astype(np.float32)
+    async with UncertaintyService(deployment, backend="fixed",
+                                  kernel=kernel) as service:
+        posterior = await service.predict(images)
+    print(f"Phase 6  fixed-backend request: "
+          f"class={int(posterior.predictions[0])}  "
+          f"entropy={float(posterior.predictive_entropy[0]):.3f}  "
+          f"MI={float(posterior.mutual_information[0]):.3f}")
 
 
 def main() -> None:
@@ -133,6 +152,20 @@ def main() -> None:
               f"(config {config_to_string(deployment.config)}, "
               f"T={deployment.spec.mc_samples})")
         asyncio.run(serve_round_trip(deployment))
+
+        # Phase 6 — fixed-point compile: lower the deployment to the
+        # quantized integer kernel (every multiply-accumulate in int64
+        # with saturation and round-to-nearest-even, exactly like the
+        # generated FPGA datapath), measure float-vs-fixed fidelity on
+        # the experiment's own validation split, and serve one request
+        # through the fixed backend.  `repro compile --deployment DIR`
+        # is the CLI spelling of the same step.
+        kernel, report = compile_and_report(
+            deployment, ArtifactStore(deploy_dir), fidelity_rows=60)
+        print(f"\nPhase 6  compiled {len(kernel.plans)} layers "
+              f"to fixed point")
+        print(report.render())
+        asyncio.run(fixed_backend_round_trip(deployment, kernel))
 
 
 if __name__ == "__main__":

@@ -60,6 +60,7 @@ from repro.api.stages import (
     StoreTrainCheckpointer,
     TrainStage,
     build_design,
+    export_compiled_deployment,
     export_deployment,
 )
 
@@ -87,6 +88,7 @@ __all__ = [
     "TrainSpec",
     "TrainStage",
     "build_design",
+    "export_compiled_deployment",
     "export_deployment",
     "run_experiment",
     "run_experiments",

@@ -10,7 +10,10 @@ Built on the :mod:`repro.api` experiment layer.  Five commands:
   ``--export-deployment`` additionally freezes the winner into a
   serving deployment directory;
 * ``serve`` — drive the async micro-batching uncertainty service over
-  an exported deployment (``--smoke`` answers one request and exits);
+  an exported deployment (``--smoke`` answers one request and exits;
+  ``--backend fixed`` serves through the compiled integer kernel);
+* ``compile`` — lower a deployment to the executable fixed-point
+  kernel and print its measured float-vs-fixed fidelity report;
 * ``search`` — ad-hoc four-phase search from flat flags;
 * ``generate`` — emit the HLS project for a configuration;
 * ``report`` — print the csynth-style report of a configuration.
@@ -20,6 +23,8 @@ Examples::
     python -m repro.cli run --spec experiment.json --store runs/ \\
         --export-deployment deploy/
     python -m repro.cli serve --deployment deploy/ --smoke
+    python -m repro.cli compile --deployment deploy/
+    python -m repro.cli serve --deployment deploy/ --backend fixed
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
         --image-size 16 --aims accuracy latency
     python -m repro.cli generate --config B-K-M --outdir gen/
@@ -124,6 +129,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "deployment spec's mc_samples)")
     p_serve.add_argument("--seed", type=int, default=0,
                          help="seed of the synthetic demo requests")
+    p_serve.add_argument("--backend", choices=["float", "fixed"],
+                         default="float",
+                         help="serving backend: float MC engines or the "
+                              "compiled fixed-point integer kernel "
+                              "(default: float)")
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="lower a deployment to an executable fixed-point kernel")
+    csource = p_compile.add_mutually_exclusive_group(required=True)
+    csource.add_argument("--deployment", metavar="DIR",
+                         help="deployment directory (from "
+                              "`run --export-deployment`)")
+    csource.add_argument("--run-dir", metavar="DIR",
+                         help="finished run directory to compile directly "
+                              "(<store>/<run_id>)")
+    p_compile.add_argument("--aim", default=None,
+                           help="searched aim to compile (with --run-dir)")
+    p_compile.add_argument("--out", default=None, metavar="DIR",
+                           help="artifact directory (default: the "
+                                "deployment directory itself, or "
+                                "<run-dir>/compiled)")
+    p_compile.add_argument("--calibration-rows", type=int, default=None,
+                           help="validation rows for range calibration")
+    p_compile.add_argument("--fidelity-rows", type=int, default=None,
+                           help="validation rows for the fidelity report")
+    p_compile.add_argument("--samples", type=int, default=None,
+                           help="Monte-Carlo passes T (default: the "
+                                "deployment spec's mc_samples)")
+    p_compile.add_argument("--force", action="store_true",
+                           help="recompile even if artifacts exist")
+    p_compile.add_argument("--json", action="store_true", dest="as_json",
+                           help="print the fidelity report as JSON")
 
     p_search = sub.add_parser(
         "search", help="run the four-phase dropout search")
@@ -295,6 +333,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         deployment = Deployment.load(args.deployment)
     else:
         deployment = Deployment.from_run(args.run_dir, aim=args.aim)
+    kernel = None
+    if args.backend == "fixed" and args.deployment:
+        # Reuse a `repro compile` artifact when the deployment
+        # directory holds one; otherwise the service compiles inline.
+        from repro.api import ArtifactStore
+        from repro.hw.compile import KERNEL_ARTIFACT, load_kernel
+        store = ArtifactStore(args.deployment)
+        if store.has(KERNEL_ARTIFACT):
+            kernel = load_kernel(store, deployment)
     num_requests = 1 if args.smoke else max(1, args.requests)
     rng = np.random.default_rng(args.seed)
     requests = [
@@ -306,11 +353,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_rows=args.batch_rows,
         max_wait_ms=args.max_wait_ms,
         max_queue_rows=max(args.batch_rows, num_requests),
-        num_samples=args.samples)
+        num_samples=args.samples,
+        backend=args.backend,
+        kernel=kernel)
     print(f"deployment: model={deployment.spec.model} "
           f"config={config_to_string(deployment.config)} "
           f"T={service.num_samples} "
           f"engine={deployment.spec.engine} "
+          f"backend={service.backend} "
           f"fixed_point=<{deployment.fixed_point.total_bits},"
           f"{deployment.fixed_point.fraction_bits}>")
     posteriors = asyncio.run(_drive_service(service, requests))
@@ -324,6 +374,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{stats['coalesce_ratio']:.2f}, "
           f"p50={stats['latency_p50_ms']:.1f}ms "
           f"p99={stats['latency_p99_ms']:.1f}ms")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    # Lazy imports, mirroring cmd_serve: compile builds on the serving
+    # and hw layers, which the other subcommands never need.
+    import os
+
+    from repro.api import ArtifactStore
+    from repro.hw.compile import compile_and_report
+    from repro.serve import Deployment
+
+    if args.deployment:
+        deployment = Deployment.load(args.deployment)
+        out = args.out or args.deployment
+    else:
+        deployment = Deployment.from_run(args.run_dir, aim=args.aim)
+        out = args.out or os.path.join(args.run_dir, "compiled")
+    store = ArtifactStore(out)
+    kernel, report = compile_and_report(
+        deployment, store,
+        **({} if args.calibration_rows is None
+           else {"calibration_rows": args.calibration_rows}),
+        fidelity_rows=args.fidelity_rows,
+        num_samples=args.samples,
+        force=args.force)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"compiled: model={deployment.spec.model} "
+          f"config={config_to_string(deployment.config)} "
+          f"layers={len(kernel.plans)} "
+          f"default=<{deployment.fixed_point.total_bits},"
+          f"{deployment.fixed_point.fraction_bits}>")
+    print(f"artifacts: {store.root}")
+    print(report.render())
     return 0
 
 
@@ -348,6 +434,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": cmd_run,
     "serve": cmd_serve,
+    "compile": cmd_compile,
     "search": cmd_search,
     "generate": cmd_generate,
     "report": cmd_report,

@@ -21,6 +21,18 @@ from repro.hw.baselines import (
     get_quoted_design,
 )
 from repro.hw.codegen import EmittedProject, HLSEmitter, emit_hls_project
+from repro.hw.compile import (
+    CompiledKernel,
+    CompileError,
+    FidelityReport,
+    LayerPlan,
+    ResolvedFormats,
+    compile_and_report,
+    compile_deployment,
+    load_kernel,
+    measure_fidelity,
+    save_kernel,
+)
 from repro.hw.cost_model import (
     CostModelReport,
     GPLatencyModel,
@@ -87,7 +99,10 @@ __all__ = [
     "AcceleratorBuilder",
     "AcceleratorConfig",
     "AcceleratorDesign",
+    "CompileError",
+    "CompiledKernel",
     "CostModelReport",
+    "FidelityReport",
     "DropoutHWModel",
     "EmittedProject",
     "FPGADevice",
@@ -97,16 +112,23 @@ __all__ = [
     "HLSEmitter",
     "LayerInfo",
     "LayerPerf",
+    "LayerPlan",
     "Netlist",
     "PerfEstimate",
     "Platform",
     "PowerBreakdown",
     "QuotedDesign",
+    "ResolvedFormats",
     "ResourceUsage",
     "SynthesisReport",
     "build_latency_dataset",
+    "compile_and_report",
+    "compile_deployment",
     "dropout_stall_cycles",
     "emit_hls_project",
+    "load_kernel",
+    "measure_fidelity",
+    "save_kernel",
     "encode_features",
     "energy_per_image_j",
     "estimate",

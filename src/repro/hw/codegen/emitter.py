@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -100,8 +100,23 @@ class HLSEmitter:
     # Public entry point
     # ------------------------------------------------------------------
     def emit(self, design: AcceleratorDesign, outdir: str, *,
-             model: Optional[Module] = None) -> EmittedProject:
-        """Write the complete project under ``outdir``."""
+             model: Optional[Module] = None,
+             formats: Optional[Mapping[str, object]] = None
+             ) -> EmittedProject:
+        """Write the complete project under ``outdir``.
+
+        Args:
+            design: the characterized accelerator.
+            model: optional live model; enables real quantized weights.
+            formats: optional per-layer resolved number formats, keyed
+                by traced layer name — the record a compiled kernel
+                returns from :meth:`repro.hw.compile.CompiledKernel.
+                resolved_formats`.  When given, the emitted
+                ``parameters.h`` typedefs and weight headers use each
+                layer's calibrated formats instead of the uniform
+                model default, so the templates and the executable
+                kernel agree bit-for-bit on number formats.
+        """
         project = EmittedProject(root=outdir, project_name=self.project_name)
         fw = os.path.join(outdir, "firmware")
         os.makedirs(os.path.join(fw, "nnet_utils"), exist_ok=True)
@@ -113,7 +128,8 @@ class HLSEmitter:
         self._write(project, os.path.join(fw, "defines.h"),
                     self._render_defines(design, fmt))
         self._write(project, os.path.join(fw, "parameters.h"),
-                    self._render_parameters(design, fmt))
+                    self._render_parameters(design, fmt,
+                                            formats=formats))
         for name, content in _STATIC_HEADERS.items():
             self._write(project,
                         os.path.join(fw, "nnet_utils", name), content)
@@ -124,7 +140,7 @@ class HLSEmitter:
         self._write(project, os.path.join(fw, f"{self.project_name}.cpp"),
                     self._render_top(design))
         if model is not None:
-            self._emit_weights(project, fw, model, fmt)
+            self._emit_weights(project, fw, model, fmt, formats=formats)
         self._write(project,
                     os.path.join(outdir, "tb", f"{self.project_name}_test.cpp"),
                     templates.TESTBENCH_CPP.format(project=self.project_name))
@@ -171,16 +187,21 @@ class HLSEmitter:
             layer_dim_defines="\n".join(dims))
 
     def _render_parameters(self, design: AcceleratorDesign,
-                           fmt: FixedPointFormat) -> str:
+                           fmt: FixedPointFormat, *,
+                           formats: Optional[Mapping[str, object]] = None
+                           ) -> str:
         blocks = ["#ifndef PARAMETERS_H_", "#define PARAMETERS_H_", "",
                   '#include "defines.h"', ""]
         for i, layer in enumerate(design.netlist.layers):
-            blocks.append(self._layer_config_struct(i, layer))
+            resolved = formats.get(layer.name) if formats else None
+            blocks.append(self._layer_config_struct(i, layer,
+                                                    resolved=resolved))
         blocks += ["#endif", ""]
         return "\n".join(blocks)
 
     @staticmethod
-    def _layer_config_struct(idx: int, layer: LayerInfo) -> str:
+    def _layer_config_struct(idx: int, layer: LayerInfo,
+                             resolved=None) -> str:
         lines = [f"// {layer.name} ({layer.kind})",
                  f"struct config{idx} : nnet::common_config {{"]
         lines.append(f"    static const unsigned n_in = {layer.in_elements};")
@@ -209,15 +230,29 @@ class HLSEmitter:
                 f"{int(0.08 * 65535)};")
             lines.append("    static const unsigned block_size = 3;")
             lines.append("    static const unsigned num_masks = 4;")
-            lines.append("    typedef model_default_t scale_t;")
             lines.append(
                 f"    static constexpr double inv_keep = {1.0 / keep:.6f};")
             lines.append(
                 "    static constexpr double sigma_lsb = 0.000122;")
-        lines.append("    typedef model_default_t weight_t;")
-        lines.append("    typedef model_default_t bias_t;")
-        lines.append("    typedef model_default_t scale_t;")
-        lines.append("    typedef ap_fixed<32,16> accum_t;")
+        # Compiled per-layer formats (repro.hw.compile) override the
+        # uniform model default when provided.
+        weight_t = bias_t = scale_t = "model_default_t"
+        accum_t = "ap_fixed<32,16>"
+        result_t = None
+        if resolved is not None:
+            if resolved.weight is not None:
+                weight_t = scale_t = str(resolved.weight)
+            if resolved.bias is not None:
+                bias_t = str(resolved.bias)
+            if resolved.accum is not None:
+                accum_t = str(resolved.accum)
+            result_t = str(resolved.activation)
+        lines.append(f"    typedef {weight_t} weight_t;")
+        lines.append(f"    typedef {bias_t} bias_t;")
+        lines.append(f"    typedef {scale_t} scale_t;")
+        lines.append(f"    typedef {accum_t} accum_t;")
+        if result_t is not None:
+            lines.append(f"    typedef {result_t} result_t;")
         lines.append("    static const unsigned pool_size = 2;")
         lines.append("    static const unsigned filt_height = 3;")
         lines.append("    static const unsigned filt_width = 3;")
@@ -293,11 +328,31 @@ class HLSEmitter:
             return None
         raise ValueError(f"unhandled layer kind {layer.kind!r}")
 
+    @staticmethod
+    def _param_format(name: str, default: FixedPointFormat,
+                      formats: Optional[Mapping[str, object]]
+                      ) -> FixedPointFormat:
+        """The format parameter ``name`` quantizes to.
+
+        ``name`` is a dotted parameter path (``conv1.weight``); its
+        layer's resolved weight format applies when the compiled record
+        provides one, otherwise the uniform default.
+        """
+        if formats:
+            layer, _, _kind = name.rpartition(".")
+            resolved = formats.get(layer)
+            if resolved is not None and resolved.weight is not None:
+                return resolved.weight
+        return default
+
     def _emit_weights(self, project: EmittedProject, fw_dir: str,
-                      model: Module, fmt: FixedPointFormat) -> None:
+                      model: Module, fmt: FixedPointFormat, *,
+                      formats: Optional[Mapping[str, object]] = None
+                      ) -> None:
         """Quantize model parameters and write weight headers."""
         for k, (name, param) in enumerate(model.named_parameters()):
-            codes = fmt.to_fixed(param.data).ravel()
+            param_fmt = self._param_format(name, fmt, formats)
+            codes = param_fmt.to_fixed(param.data).ravel()
             path = os.path.join(fw_dir, "weights", f"w{k}.h")
             if codes.size > MAX_INLINE_WEIGHTS:
                 npy_path = os.path.join(fw_dir, "weights", f"w{k}.npy")
@@ -311,7 +366,8 @@ class HLSEmitter:
             else:
                 values = ", ".join(str(int(v)) for v in codes)
                 content = (
-                    f"// {name} quantized to {fmt} ({codes.size} values)\n"
+                    f"// {name} quantized to {param_fmt} "
+                    f"({codes.size} values)\n"
                     f"static const short w{k}_codes[{codes.size}] = "
                     f"{{{values}}};\n")
             self._write(project, path, content)
@@ -319,6 +375,14 @@ class HLSEmitter:
 
 def emit_hls_project(design: AcceleratorDesign, outdir: str, *,
                      model: Optional[Module] = None,
+                     formats: Optional[Mapping[str, object]] = None,
                      project_name: str = "myproject") -> EmittedProject:
-    """Convenience wrapper: emit ``design`` as an HLS project."""
-    return HLSEmitter(project_name).emit(design, outdir, model=model)
+    """Convenience wrapper: emit ``design`` as an HLS project.
+
+    ``formats`` takes a compiled kernel's
+    :meth:`~repro.hw.compile.CompiledKernel.resolved_formats` record to
+    emit calibrated per-layer number formats (see
+    :meth:`HLSEmitter.emit`).
+    """
+    return HLSEmitter(project_name).emit(design, outdir, model=model,
+                                         formats=formats)

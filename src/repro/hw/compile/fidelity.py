@@ -1,0 +1,217 @@
+"""Measured float-vs-fixed fidelity of a compiled kernel.
+
+The point of executing the quantized network (rather than only costing
+it) is that quantization error on the *uncertainty* outputs — the
+quantities the search optimized for — becomes a measured number instead
+of an assumption.  :func:`measure_fidelity` runs the float serving path
+and the integer kernel over the same validation rows under the same
+mask contract and reports accuracy/ECE/NLL plus entropy and mutual-
+information deltas, alongside each layer's resolved formats and weight
+quantization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bayes.metrics import (
+    accuracy,
+    expected_calibration_error,
+    negative_log_likelihood,
+)
+from repro.hw.compile.calibrate import (
+    DEFAULT_FIDELITY_ROWS,
+    calibration_split,
+)
+
+
+@dataclass
+class FidelityReport:
+    """Float-vs-fixed comparison of one compiled deployment.
+
+    All metrics are computed over the same ``rows`` validation inputs
+    with the same number of Monte-Carlo samples and byte-identical mask
+    plans, so every delta is attributable to quantization alone.
+
+    Attributes:
+        rows / num_samples: evaluation set size and MC passes.
+        float_accuracy .. fixed_nll: the three headline metrics on each
+            path (``*_delta`` = fixed - float).
+        agreement: fraction of rows whose argmax prediction matches.
+        entropy_delta_mean / entropy_delta_max: mean and max absolute
+            predictive-entropy difference, in nats.
+        mi_delta_mean / mi_delta_max: same for mutual information.
+        mean_probs_delta_max: max absolute posterior-probability error.
+        layers: per-layer format/error rows from
+            :meth:`~repro.hw.compile.kernel.CompiledKernel.layer_rows`.
+    """
+
+    rows: int
+    num_samples: int
+    float_accuracy: float
+    fixed_accuracy: float
+    float_ece: float
+    fixed_ece: float
+    float_nll: float
+    fixed_nll: float
+    agreement: float
+    entropy_delta_mean: float
+    entropy_delta_max: float
+    mi_delta_mean: float
+    mi_delta_max: float
+    mean_probs_delta_max: float
+    layers: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def accuracy_delta(self) -> float:
+        """Fixed minus float accuracy (negative = quantization hurts)."""
+        return self.fixed_accuracy - self.float_accuracy
+
+    @property
+    def ece_delta(self) -> float:
+        """Fixed minus float expected calibration error."""
+        return self.fixed_ece - self.float_ece
+
+    @property
+    def nll_delta(self) -> float:
+        """Fixed minus float negative log-likelihood."""
+        return self.fixed_nll - self.float_nll
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (inverted by :meth:`from_dict`).
+
+        Derived deltas are materialized so the persisted artifact is
+        self-describing without this class.
+        """
+        return {
+            "rows": self.rows,
+            "num_samples": self.num_samples,
+            "float_accuracy": self.float_accuracy,
+            "fixed_accuracy": self.fixed_accuracy,
+            "accuracy_delta": self.accuracy_delta,
+            "float_ece": self.float_ece,
+            "fixed_ece": self.fixed_ece,
+            "ece_delta": self.ece_delta,
+            "float_nll": self.float_nll,
+            "fixed_nll": self.fixed_nll,
+            "nll_delta": self.nll_delta,
+            "agreement": self.agreement,
+            "entropy_delta_mean": self.entropy_delta_mean,
+            "entropy_delta_max": self.entropy_delta_max,
+            "mi_delta_mean": self.mi_delta_mean,
+            "mi_delta_max": self.mi_delta_max,
+            "mean_probs_delta_max": self.mean_probs_delta_max,
+            "layers": self.layers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FidelityReport":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            rows=int(payload["rows"]),
+            num_samples=int(payload["num_samples"]),
+            float_accuracy=float(payload["float_accuracy"]),
+            fixed_accuracy=float(payload["fixed_accuracy"]),
+            float_ece=float(payload["float_ece"]),
+            fixed_ece=float(payload["fixed_ece"]),
+            float_nll=float(payload["float_nll"]),
+            fixed_nll=float(payload["fixed_nll"]),
+            agreement=float(payload["agreement"]),
+            entropy_delta_mean=float(payload["entropy_delta_mean"]),
+            entropy_delta_max=float(payload["entropy_delta_max"]),
+            mi_delta_mean=float(payload["mi_delta_mean"]),
+            mi_delta_max=float(payload["mi_delta_max"]),
+            mean_probs_delta_max=float(payload["mean_probs_delta_max"]),
+            layers=list(payload.get("layers") or []),
+        )
+
+    def render(self) -> str:
+        """Human-readable fidelity table (CLI / report output)."""
+        lines = [
+            "Fixed-point fidelity "
+            f"({self.rows} rows, T={self.num_samples})",
+            f"  accuracy  float {self.float_accuracy:.4f}  "
+            f"fixed {self.fixed_accuracy:.4f}  "
+            f"delta {self.accuracy_delta:+.4f}",
+            f"  ECE       float {self.float_ece:.4f}  "
+            f"fixed {self.fixed_ece:.4f}  delta {self.ece_delta:+.4f}",
+            f"  NLL       float {self.float_nll:.4f}  "
+            f"fixed {self.fixed_nll:.4f}  delta {self.nll_delta:+.4f}",
+            f"  argmax agreement      {self.agreement:.4f}",
+            f"  |entropy delta|       mean {self.entropy_delta_mean:.5f}"
+            f"  max {self.entropy_delta_max:.5f}  (nats)",
+            f"  |MI delta|            mean {self.mi_delta_mean:.5f}"
+            f"  max {self.mi_delta_max:.5f}  (nats)",
+            f"  |mean-prob delta| max {self.mean_probs_delta_max:.5f}",
+        ]
+        if self.layers:
+            lines.append("  per-layer formats:")
+            for row in self.layers:
+                weight = row.get("weight_format")
+                detail = f"  w {weight}" if weight else ""
+                error = row.get("weight_error") or 0.0
+                if error:
+                    detail += f"  |dw| {error:.2e}"
+                lines.append(
+                    f"    {row['name']:<16} {row['kind']:<14} "
+                    f"a {row['activation_format']}{detail}")
+        return "\n".join(lines)
+
+
+def measure_fidelity(kernel, *, rows: int = DEFAULT_FIDELITY_ROWS,
+                     num_samples: Optional[int] = None) -> FidelityReport:
+    """Run both paths over validation rows and compare.
+
+    The float reference is the deployment's own serving path
+    (:meth:`~repro.serve.Deployment.predict` on a fresh float model);
+    the fixed path is ``kernel.predict``.  Both reseed from the same
+    serving contract, so their Monte-Carlo mask plans are identical and
+    the comparison isolates arithmetic quantization.
+    """
+    deployment = kernel.deployment
+    if num_samples is None:
+        num_samples = deployment.spec.mc_samples
+    images, labels = calibration_split(deployment.spec, rows=rows)
+
+    float_model = deployment.instantiate()
+    float_pred = deployment.predict(float_model, images,
+                                    num_samples=num_samples)
+    fixed_pred = kernel.predict(images, num_samples=num_samples)
+
+    float_mean = float_pred.mean_probs
+    fixed_mean = fixed_pred.mean_probs
+    entropy_delta = np.abs(fixed_pred.predictive_entropy()
+                           - float_pred.predictive_entropy())
+    mi_delta = np.abs(fixed_pred.mutual_information()
+                      - float_pred.mutual_information())
+    agreement = float(np.mean(fixed_pred.predictions()
+                              == float_pred.predictions()))
+
+    return FidelityReport(
+        rows=int(images.shape[0]),
+        num_samples=int(num_samples),
+        float_accuracy=float(accuracy(float_mean, labels)),
+        fixed_accuracy=float(accuracy(fixed_mean, labels)),
+        float_ece=float(expected_calibration_error(float_mean, labels)),
+        fixed_ece=float(expected_calibration_error(fixed_mean, labels)),
+        float_nll=float(negative_log_likelihood(float_mean, labels)),
+        fixed_nll=float(negative_log_likelihood(fixed_mean, labels)),
+        agreement=agreement,
+        entropy_delta_mean=float(entropy_delta.mean()),
+        entropy_delta_max=float(entropy_delta.max()),
+        mi_delta_mean=float(mi_delta.mean()),
+        mi_delta_max=float(mi_delta.max()),
+        mean_probs_delta_max=float(
+            np.max(np.abs(fixed_mean - float_mean))),
+        layers=kernel.layer_rows(),
+    )
+
+
+__all__ = [
+    "DEFAULT_FIDELITY_ROWS",
+    "FidelityReport",
+    "measure_fidelity",
+]

@@ -1,0 +1,143 @@
+"""Per-tensor fixed-point format assignment for the compiler.
+
+The paper deploys every tensor in ``<16,8>`` (Q7.8).  The compiler
+keeps that as the *default activation format* and deviates only where
+it must or where it is free to:
+
+* **Activations** keep the deployment's default format unless the
+  calibrated range overflows it, in which case integer bits grow (at
+  the same word width) until the range is representable — the width
+  converters hls4ml inserts for exactly this reason.
+* **Weights/scales** are fitted *tightly*: the integer field shrinks
+  to what the actual parameter range needs and every freed bit becomes
+  a fraction bit — standard per-tensor quantization, at the same word
+  width the paper uses.
+
+Both policies are overridable per layer through the ``overrides``
+mapping accepted by :func:`repro.hw.compile.compile_deployment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.fixed_point import FixedPointFormat
+
+#: Word width of the widened accumulators (metadata for the emitted
+#: ``accum_t``; the numpy executor carries accumulators in int64, which
+#: strictly contains this range).
+ACCUM_BITS = 32
+
+#: Format of quantized dropout-mask ROM/stream values.  Inverted-dropout
+#: masks are ``0`` or ``1/keep``-scaled (a few units at most), so four
+#: integer bits cover every design in the zoo while 11 fraction bits
+#: keep the mask-scale quantization error an order of magnitude below
+#: the activation LSB.
+MASK_FORMAT = FixedPointFormat(total_bits=16, fraction_bits=11)
+
+
+def widen_for_range(max_abs: float,
+                    default: FixedPointFormat) -> FixedPointFormat:
+    """The default format, with integer bits grown to cover ``max_abs``.
+
+    Keeps ``default`` whenever the observed range fits; otherwise moves
+    fraction bits to the integer field (same word width) until the
+    range is representable, bottoming out at zero fraction bits (a
+    range even that cannot cover simply saturates, like the hardware).
+    """
+    fmt = default
+    while max_abs > fmt.max_value and fmt.fraction_bits > 0:
+        fmt = FixedPointFormat(total_bits=fmt.total_bits,
+                               fraction_bits=fmt.fraction_bits - 1)
+    return fmt
+
+
+def tight_for_range(max_abs: float, total_bits: int) -> FixedPointFormat:
+    """The ``total_bits``-wide format that fits ``max_abs`` most finely.
+
+    Shrinks the integer field to the minimum covering ``max_abs`` and
+    gives every remaining bit to the fraction — the per-tensor weight
+    format policy.
+    """
+    fmt = FixedPointFormat(total_bits=total_bits,
+                           fraction_bits=total_bits - 1)
+    return widen_for_range(max_abs, fmt)
+
+
+def observed_max(array: np.ndarray) -> float:
+    """Largest finite magnitude in ``array`` (0.0 for empty input)."""
+    array = np.asarray(array)
+    if array.size == 0:
+        return 0.0
+    return float(np.max(np.abs(array)))
+
+
+@dataclass(frozen=True)
+class ResolvedFormats:
+    """The number formats one compiled layer resolved to.
+
+    Attributes:
+        activation: output activation format.
+        weight: weight format (conv/linear kernels, BN scale, LeakyReLU
+            slope); None for parameter-free layers.
+        bias: format of bias/shift terms, expressed at the widened
+            accumulator scale; None when the layer has none.
+        accum: widened accumulator format (MAC trees, mask products);
+            None for pure data-movement layers.
+    """
+
+    activation: FixedPointFormat
+    weight: Optional[FixedPointFormat] = None
+    bias: Optional[FixedPointFormat] = None
+    accum: Optional[FixedPointFormat] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (inverted by :meth:`from_dict`)."""
+        def enc(fmt: Optional[FixedPointFormat]):
+            if fmt is None:
+                return None
+            return [fmt.total_bits, fmt.fraction_bits]
+        return {"activation": enc(self.activation),
+                "weight": enc(self.weight),
+                "bias": enc(self.bias),
+                "accum": enc(self.accum)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResolvedFormats":
+        """Rebuild from a :meth:`to_dict` payload."""
+        def dec(entry):
+            if entry is None:
+                return None
+            return FixedPointFormat(total_bits=int(entry[0]),
+                                    fraction_bits=int(entry[1]))
+        return cls(activation=dec(payload["activation"]),
+                   weight=dec(payload.get("weight")),
+                   bias=dec(payload.get("bias")),
+                   accum=dec(payload.get("accum")))
+
+
+def accumulator_format(in_fmt: FixedPointFormat,
+                       w_fmt: FixedPointFormat) -> FixedPointFormat:
+    """The widened accumulator format of an ``in * w`` MAC tree.
+
+    Products carry ``in.fraction_bits + w.fraction_bits`` fraction bits;
+    the accumulator keeps them all in an :data:`ACCUM_BITS`-wide word
+    (fraction capped so at least one sign bit remains).
+    """
+    fraction = min(in_fmt.fraction_bits + w_fmt.fraction_bits,
+                   ACCUM_BITS - 1)
+    return FixedPointFormat(total_bits=ACCUM_BITS, fraction_bits=fraction)
+
+
+__all__ = [
+    "ACCUM_BITS",
+    "MASK_FORMAT",
+    "ResolvedFormats",
+    "accumulator_format",
+    "observed_max",
+    "tight_for_range",
+    "widen_for_range",
+]

@@ -11,8 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.hw.compile.fidelity import FidelityReport
 from repro.hw.perf import AcceleratorConfig, PerfEstimate
 from repro.hw.power import PowerBreakdown, energy_per_image_j
+
+__all__ = ["FidelityReport", "SynthesisReport"]
 
 
 @dataclass

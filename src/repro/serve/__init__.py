@@ -37,12 +37,14 @@ from repro.serve.deployment import (
 )
 from repro.serve.scheduler import BackpressureError, MicroBatcher
 from repro.serve.service import (
+    BACKENDS,
     LATENCY_WINDOW,
     PosteriorSlice,
     UncertaintyService,
 )
 
 __all__ = [
+    "BACKENDS",
     "BackpressureError",
     "DEPLOYMENT_VERSION",
     "Deployment",

@@ -39,6 +39,10 @@ from repro.utils.validation import check_positive_int
 #: under sustained traffic; percentiles are over the last this-many).
 LATENCY_WINDOW = 4096
 
+#: Serving backends: float Monte-Carlo engines or the compiled
+#: fixed-point integer kernel (:mod:`repro.hw.compile`).
+BACKENDS = ("float", "fixed")
+
 
 @dataclass
 class PosteriorSlice:
@@ -87,6 +91,17 @@ class UncertaintyService:
         num_samples: Monte-Carlo passes per prediction; defaults to the
             deployment spec's ``mc_samples``.
         engine: MC engine override; defaults to the spec's ``engine``.
+            Float backend only.
+        backend: ``"float"`` (default: the MC engines) or ``"fixed"``
+            — serve through a compiled fixed-point integer kernel
+            (:mod:`repro.hw.compile`), the software twin of the FPGA
+            datapath.  Both backends honor the same mask-plan
+            determinism contract, so fixed-backend responses are a pure
+            function of (deployment, request rows) too.
+        kernel: optional pre-compiled
+            :class:`~repro.hw.compile.CompiledKernel` for the fixed
+            backend (e.g. loaded from a ``repro compile`` artifact
+            directory); compiled on the fly when omitted.
 
     Use as an async context manager::
 
@@ -99,7 +114,9 @@ class UncertaintyService:
                  max_wait_ms: float = 2.0,
                  max_queue_rows: int = 256,
                  num_samples: Optional[int] = None,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 backend: str = "float",
+                 kernel=None) -> None:
         self.deployment = deployment
         if num_samples is None:
             num_samples = deployment.spec.mc_samples
@@ -109,9 +126,27 @@ class UncertaintyService:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"choose from {ENGINES}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
         self.num_samples = int(num_samples)
         self.engine = engine
-        self._model = deployment.instantiate()
+        self.backend = backend
+        self._model = None
+        self._kernel = None
+        if backend == "fixed":
+            if kernel is None:
+                from repro.hw.compile import compile_deployment
+                kernel = compile_deployment(deployment)
+            elif kernel.deployment is not deployment:
+                raise ValueError(
+                    "kernel was compiled from a different deployment")
+            self._kernel = kernel
+        else:
+            if kernel is not None:
+                raise ValueError(
+                    "kernel is only meaningful with backend='fixed'")
+            self._model = deployment.instantiate()
         self._batcher = MicroBatcher(
             self._predict_fused,
             max_batch_rows=max_batch_rows,
@@ -125,6 +160,9 @@ class UncertaintyService:
     # ------------------------------------------------------------------
     def _predict_fused(self, images: np.ndarray) -> MCPrediction:
         """One fused pass under the deployment's determinism contract."""
+        if self._kernel is not None:
+            return self._kernel.predict(images,
+                                        num_samples=self.num_samples)
         return self.deployment.predict(
             self._model, images,
             num_samples=self.num_samples, engine=self.engine)
@@ -201,7 +239,9 @@ class UncertaintyService:
                                if latencies.size else 0.0),
             "num_samples": self.num_samples,
             "engine": self.engine,
+            "backend": self.backend,
         }
 
 
-__all__ = ["LATENCY_WINDOW", "PosteriorSlice", "UncertaintyService"]
+__all__ = ["BACKENDS", "LATENCY_WINDOW", "PosteriorSlice",
+           "UncertaintyService"]

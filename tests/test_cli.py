@@ -227,3 +227,100 @@ class TestServeCommand:
                      str(tmp_path / "missing"), "--smoke"])
         assert code == 2
         assert capsys.readouterr().err.startswith("error:")
+
+
+class TestCompileCommand:
+    """`repro compile` round trips from a deployment dir and a run dir."""
+
+    @pytest.fixture(scope="class")
+    def deployment_dir(self, tmp_path_factory):
+        from repro.serve import Deployment
+        spec = ExperimentSpec(
+            name="cli-compile", model="lenet_slim",
+            dataset="mnist_like", image_size=16, dataset_size=200,
+            seed=9)
+        path = str(tmp_path_factory.mktemp("deploy"))
+        Deployment.from_spec(
+            spec, (1, 16, 16), config=("B", "B", "M")).save(path)
+        return path
+
+    def test_compile_requires_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--deployment", "a",
+                                       "--run-dir", "b"])
+
+    def test_compile_from_deployment_dir(self, deployment_dir, capsys):
+        code = main(["compile", "--deployment", deployment_dir,
+                     "--calibration-rows", "8", "--fidelity-rows", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compiled: model=lenet_slim config=B-B-M" in out
+        assert "accuracy" in out
+        assert "ap_fixed<" in out
+        from repro.api import ArtifactStore
+        from repro.hw.compile import KERNEL_ARTIFACT, KERNEL_TENSORS
+        store = ArtifactStore(deployment_dir)
+        assert store.has(KERNEL_ARTIFACT)
+        assert store.has_state(KERNEL_TENSORS)
+
+    def test_compile_resumes_and_emits_json(self, deployment_dir, capsys):
+        # Artifacts from the previous test load straight back; --json
+        # emits the persisted fidelity report.
+        code = main(["compile", "--deployment", deployment_dir,
+                     "--calibration-rows", "8", "--fidelity-rows", "16",
+                     "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) >= {"fixed_accuracy", "float_accuracy",
+                               "accuracy_delta", "agreement", "layers"}
+
+    def test_serve_fixed_backend_reuses_compiled_artifact(
+            self, deployment_dir, capsys):
+        code = main(["serve", "--deployment", deployment_dir,
+                     "--smoke", "--backend", "fixed"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=fixed" in out
+        assert "served 1 request(s)" in out
+
+    def test_compile_from_run_dir(self, tmp_path, capsys):
+        spec = ExperimentSpec(
+            name="cli-compile-run", model="lenet_slim",
+            dataset="mnist_like", image_size=16, dataset_size=200,
+            ood_size=40, seed=10,
+            train=TrainSpec(epochs=2),
+            search=SearchSpec(
+                aims=("latency",),
+                evolution=EvolutionSpec(population_size=4,
+                                        generations=2)),
+            generate=GenerateSpec(aim="latency"))
+        spec_path = tmp_path / "spec.json"
+        spec.save(str(spec_path))
+        store = tmp_path / "runs"
+        assert main(["run", "--spec", str(spec_path),
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        run_dirs = [entry for entry in store.iterdir()
+                    if entry.is_dir() and entry.name != "eval_cache"]
+        assert len(run_dirs) == 1
+        code = main(["compile", "--run-dir", str(run_dirs[0]),
+                     "--calibration-rows", "8", "--fidelity-rows", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compiled: model=lenet_slim" in out
+        compiled = run_dirs[0] / "compiled"
+        # The output directory is self-contained: deployment +
+        # kernel + fidelity artifacts, servable on their own.
+        assert (compiled / "deployment.json").exists()
+        assert main(["serve", "--deployment", str(compiled),
+                     "--smoke", "--backend", "fixed"]) == 0
+        assert "backend=fixed" in capsys.readouterr().out
+
+    def test_compile_missing_deployment_dir_is_user_error(self, tmp_path,
+                                                          capsys):
+        code = main(["compile", "--deployment",
+                     str(tmp_path / "missing")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")

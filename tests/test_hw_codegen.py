@@ -127,3 +127,65 @@ class TestValidation:
     def test_bad_project_name(self):
         with pytest.raises(ValueError, match="identifier"):
             HLSEmitter("my project")
+
+
+class TestCompiledFormats:
+    """The emitter consumes the compiler's per-layer resolved formats."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        from repro.api import ExperimentSpec
+        from repro.hw.compile import compile_deployment
+        from repro.serve import Deployment
+        spec = ExperimentSpec(
+            name="emit-formats", model="lenet_slim",
+            dataset="mnist_like", image_size=16, dataset_size=200,
+            seed=12)
+        deployment = Deployment.from_spec(
+            spec, (1, 16, 16), config=("B", "B", "M"))
+        kernel = compile_deployment(deployment, calibration_rows=8)
+        model = deployment.instantiate()
+        builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+        design = builder.build_for_config(
+            model, (1, 16, 16), deployment.config, name="lenet_slim")
+        return model, design, kernel
+
+    def test_parameters_use_resolved_typedefs(self, compiled, tmp_path):
+        model, design, kernel = compiled
+        formats = kernel.resolved_formats()
+        emit_hls_project(design, str(tmp_path), model=model.model,
+                         formats=formats)
+        params = open(os.path.join(str(tmp_path), "firmware",
+                                   "parameters.h")).read()
+        for plan in kernel.plans:
+            resolved = formats[plan.name]
+            if resolved.weight is not None:
+                assert f"typedef {resolved.weight} weight_t;" in params
+                assert f"typedef {resolved.accum} accum_t;" in params
+            assert f"typedef {resolved.activation} result_t;" in params
+
+    def test_default_path_keeps_model_default(self, compiled, tmp_path):
+        _, design, _ = compiled
+        emit_hls_project(design, str(tmp_path))
+        params = open(os.path.join(str(tmp_path), "firmware",
+                                   "parameters.h")).read()
+        assert "typedef model_default_t weight_t;" in params
+        assert "result_t" not in params
+
+    def test_weight_headers_quantize_per_layer(self, compiled, tmp_path):
+        import re
+        model, design, kernel = compiled
+        formats = kernel.resolved_formats()
+        emit_hls_project(design, str(tmp_path), model=model.model,
+                         formats=formats)
+        weights_dir = os.path.join(str(tmp_path), "firmware", "weights")
+        headers = [f for f in os.listdir(weights_dir)
+                   if f.endswith(".h")]
+        assert headers
+        # Each header records the format it was quantized with; at
+        # least one must carry a tight (non-default) weight format.
+        fmts = set()
+        for header in headers:
+            text = open(os.path.join(weights_dir, header)).read()
+            fmts.update(re.findall(r"ap_fixed<\d+,-?\d+>", text))
+        assert any(fmt != "ap_fixed<16,8>" for fmt in fmts), fmts

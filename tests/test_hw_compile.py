@@ -1,0 +1,293 @@
+"""Tests for the fixed-point compiler (:mod:`repro.hw.compile`).
+
+Three contracts under test:
+
+* **Integer arithmetic** — the rounding/saturation helpers agree with
+  the float reference semantics of ``hw/fixed_point.py`` (round half
+  to even, symmetric clipping), including negative values and the
+  left-shift degenerate case.
+* **Determinism / purity** — a compiled kernel's probabilities are a
+  pure function of ``(deployment, images, T)``: byte-identical across
+  fresh compiles and across a save/load round trip, and running the
+  kernel never perturbs the float engines.
+* **Fidelity** — on a trained slim-LeNet deployment the quantized path
+  stays within the acceptance envelope of the float path (accuracy
+  within 2 percentage points, recorded ECE/entropy/MI deltas).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.hw import FixedPointFormat
+from repro.hw.compile import (
+    FIDELITY_ARTIFACT,
+    KERNEL_ARTIFACT,
+    KERNEL_TENSORS,
+    MASK_FORMAT,
+    CompileError,
+    CompiledKernel,
+    FidelityReport,
+    compile_and_report,
+    compile_deployment,
+    load_kernel,
+    measure_fidelity,
+    save_kernel,
+)
+from repro.hw.compile.kernel import round_divide, round_shift, saturate
+from repro.serve import Deployment
+
+INPUT_SHAPE = (1, 16, 16)
+
+#: Slim-LeNet configuration used throughout (fc slot admits B/M only).
+CONFIG = ("B", "B", "M")
+
+
+def make_spec(**overrides):
+    base = dict(name="compile-test", model="lenet_slim",
+                dataset="mnist_like", image_size=16, dataset_size=240,
+                seed=21)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """Untrained slim-LeNet deployment (fast; predictions are noise)."""
+    return Deployment.from_spec(make_spec(), INPUT_SHAPE, config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def kernel(deployment):
+    return compile_deployment(deployment, calibration_rows=16)
+
+
+@pytest.fixture(scope="module")
+def trained_deployment():
+    """A deployment trained on its own spec's data (fidelity target)."""
+    from repro.api import TrainSpec
+    from repro.api.stages import PipelineContext, SpecifyStage, TrainStage
+    spec = make_spec(name="compile-fid", seed=23, dataset_size=600,
+                     train=TrainSpec(epochs=6))
+    ctx = PipelineContext(spec=spec)
+    SpecifyStage().execute(ctx)
+    TrainStage().execute(ctx)
+    return Deployment.from_context(ctx, config=CONFIG)
+
+
+def make_images(rows, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows,) + INPUT_SHAPE).astype(np.float32)
+
+
+class TestIntegerHelpers:
+    def test_round_shift_matches_half_even_reference(self):
+        acc = np.arange(-70, 70, dtype=np.int64)
+        got = round_shift(acc, 4)
+        want = np.rint(acc / 16.0).astype(np.int64)
+        np.testing.assert_array_equal(got, want)
+
+    def test_round_shift_large_random_values(self):
+        rng = np.random.default_rng(5)
+        acc = rng.integers(-2**40, 2**40, size=512, dtype=np.int64)
+        for shift in (1, 7, 13):
+            got = round_shift(acc, shift)
+            want = np.rint(acc / float(1 << shift)).astype(np.int64)
+            np.testing.assert_array_equal(got, want)
+
+    def test_round_shift_nonpositive_is_left_shift(self):
+        acc = np.array([-3, 0, 5], dtype=np.int64)
+        np.testing.assert_array_equal(round_shift(acc, 0), acc)
+        np.testing.assert_array_equal(round_shift(acc, -2), acc * 4)
+
+    def test_round_divide_matches_half_even_reference(self):
+        acc = np.arange(-50, 50, dtype=np.int64)
+        for divisor in (3, 4, 9):
+            got = round_divide(acc, divisor)
+            want = np.rint(acc / float(divisor)).astype(np.int64)
+            np.testing.assert_array_equal(got, want)
+
+    def test_saturate_clips_to_symmetric_range(self):
+        fmt = FixedPointFormat(8, 4)
+        codes = np.array([-1000, -128, -127, 0, 127, 1000], dtype=np.int64)
+        got = saturate(codes, fmt)
+        np.testing.assert_array_equal(
+            got, np.array([-128, -128, -127, 0, 127, 127], dtype=np.int64))
+
+
+class TestCompile:
+    def test_plans_cover_every_traced_layer(self, kernel):
+        from repro.hw import trace_network
+        model = kernel.deployment.instantiate()
+        netlist = trace_network(model.model, INPUT_SHAPE)
+        assert [p.name for p in kernel.plans] \
+            == [l.name for l in netlist.layers]
+        assert [p.kind for p in kernel.plans] \
+            == [l.kind for l in netlist.layers]
+
+    def test_default_activation_format_is_paper_q78(self, kernel):
+        # Untrained slim-LeNet activations fit the paper's <16,8>;
+        # calibration must not widen what does not overflow.
+        fmt = kernel.deployment.fixed_point
+        assert (fmt.total_bits, fmt.fraction_bits) == (16, 8)
+        assert all(p.in_format.total_bits == 16 for p in kernel.plans)
+
+    def test_weights_prequantized_with_recorded_error(self, kernel):
+        weighted = [p for p in kernel.plans if p.weight_format is not None]
+        assert weighted, "expected conv/linear layers with weights"
+        for plan in weighted:
+            assert plan.weight_error is not None
+            assert 0.0 <= plan.weight_error < 1e-2
+            assert plan.tensors["weight"].dtype == np.int64
+
+    def test_dropout_plans_follow_slot_order(self, kernel):
+        slots = [p.slot_name for p in kernel.dropout_plans]
+        assert slots == ["conv1", "conv2", "fc"]
+        assert [p.dropout_code for p in kernel.dropout_plans] \
+            == list(CONFIG)
+        assert all(p.mask_format == MASK_FORMAT
+                   for p in kernel.dropout_plans)
+
+    def test_num_classes(self, kernel):
+        assert kernel.num_classes == 10
+
+    def test_resolved_formats_keyed_by_traced_name(self, kernel):
+        resolved = kernel.resolved_formats()
+        assert set(resolved) == {p.name for p in kernel.plans}
+        for plan in kernel.plans:
+            entry = resolved[plan.name]
+            assert entry.activation == plan.out_format
+            if plan.weight_format is not None:
+                assert entry.weight == plan.weight_format
+                assert entry.accum.total_bits == 32
+
+    def test_duplicate_plan_names_rejected(self, kernel):
+        plan = kernel.plans[0]
+        with pytest.raises(CompileError, match="duplicate"):
+            CompiledKernel(kernel.deployment, [plan, plan])
+
+
+class TestOverrides:
+    def test_override_changes_output_format(self, deployment, kernel):
+        name = kernel.plans[0].name
+        fmt = FixedPointFormat(16, 6)
+        overridden = compile_deployment(
+            deployment, calibration_rows=16, overrides={name: fmt})
+        assert overridden.plans[0].out_format == fmt
+        assert kernel.plans[0].out_format != fmt
+
+    def test_unknown_layer_name_rejected(self, deployment):
+        with pytest.raises(CompileError, match="unknown layers"):
+            compile_deployment(
+                deployment, calibration_rows=16,
+                overrides={"nope": FixedPointFormat(16, 8)})
+
+
+class TestDeterminism:
+    def test_repeat_predict_is_byte_identical(self, kernel):
+        images = make_images(6)
+        first = kernel.predict(images, num_samples=3)
+        second = kernel.predict(images, num_samples=3)
+        assert first.probs.tobytes() == second.probs.tobytes()
+
+    def test_fresh_compile_is_byte_identical(self, deployment, kernel):
+        images = make_images(5, seed=1)
+        other = compile_deployment(deployment, calibration_rows=16)
+        assert kernel.predict(images, num_samples=3).probs.tobytes() \
+            == other.predict(images, num_samples=3).probs.tobytes()
+
+    def test_probabilities_are_normalized(self, kernel):
+        pred = kernel.predict(make_images(4), num_samples=3)
+        assert pred.probs.shape == (3, 4, 10)
+        np.testing.assert_allclose(pred.probs.sum(axis=-1), 1.0,
+                                   atol=1e-5)
+
+    def test_kernel_never_perturbs_float_engines(self, deployment, kernel):
+        # Purity: a float prediction taken before and after running the
+        # kernel must be byte-identical — the kernel replays the mask
+        # contract on its own private model, never the caller's.
+        images = make_images(4, seed=2)
+        model = deployment.instantiate()
+        before = deployment.predict(model, images, num_samples=3)
+        kernel.predict(images, num_samples=3)
+        after = deployment.predict(model, images, num_samples=3)
+        assert before.probs.tobytes() == after.probs.tobytes()
+
+    def test_rejects_wrong_input_shape(self, kernel):
+        with pytest.raises(ValueError, match="shape"):
+            kernel.predict(np.zeros((2, 1, 8, 8), dtype=np.float32))
+
+
+class TestPersistence:
+    def test_save_load_round_trip_byte_identical(self, kernel, tmp_path):
+        from repro.api import ArtifactStore
+        store = ArtifactStore(str(tmp_path / "compiled"))
+        save_kernel(kernel, store)
+        assert store.has(KERNEL_ARTIFACT)
+        assert store.has_state(KERNEL_TENSORS)
+        loaded = load_kernel(store)
+        images = make_images(5, seed=3)
+        assert loaded.predict(images, num_samples=3).probs.tobytes() \
+            == kernel.predict(images, num_samples=3).probs.tobytes()
+
+    def test_save_colocates_deployment(self, kernel, tmp_path):
+        store_root = str(tmp_path / "compiled")
+        from repro.api import ArtifactStore
+        save_kernel(kernel, ArtifactStore(store_root))
+        # The directory must be self-contained: loadable with no
+        # deployment in hand.
+        reloaded = Deployment.load(store_root)
+        assert reloaded.config == kernel.deployment.config
+
+    def test_compile_and_report_resumes(self, deployment, tmp_path):
+        from repro.api import ArtifactStore
+        store = ArtifactStore(str(tmp_path / "compiled"))
+        kernel, report = compile_and_report(
+            deployment, store, calibration_rows=16, fidelity_rows=24)
+        assert store.has(FIDELITY_ARTIFACT)
+        again, report2 = compile_and_report(
+            deployment, store, calibration_rows=16, fidelity_rows=24)
+        assert report2.to_dict() == report.to_dict()
+        images = make_images(4, seed=4)
+        assert again.predict(images, num_samples=3).probs.tobytes() \
+            == kernel.predict(images, num_samples=3).probs.tobytes()
+
+
+class TestFidelity:
+    @pytest.fixture(scope="class")
+    def report(self, trained_deployment):
+        kernel = compile_deployment(trained_deployment,
+                                    calibration_rows=32)
+        return measure_fidelity(kernel, rows=96)
+
+    def test_accuracy_within_two_points(self, report):
+        # Acceptance criterion: quantization costs at most 2pp accuracy
+        # on the trained LeNet deployment.
+        assert abs(report.accuracy_delta) <= 0.02
+
+    def test_predictions_mostly_agree(self, report):
+        assert report.agreement >= 0.95
+        assert report.mean_probs_delta_max <= 0.05
+
+    def test_uncertainty_deltas_recorded_and_small(self, report):
+        assert 0.0 <= report.entropy_delta_mean <= report.entropy_delta_max
+        assert report.entropy_delta_max <= 0.2
+        assert 0.0 <= report.mi_delta_mean <= report.mi_delta_max
+        assert np.isfinite(report.ece_delta)
+        assert np.isfinite(report.nll_delta)
+
+    def test_per_layer_rows_present(self, report):
+        assert report.layers
+        names = {row["name"] for row in report.layers}
+        assert any(row["weight_error"] is not None
+                   for row in report.layers)
+        assert len(names) == len(report.layers)
+
+    def test_round_trips_through_dict(self, report):
+        clone = FidelityReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_render_mentions_headline_metrics(self, report):
+        text = report.render()
+        assert "accuracy" in text
+        assert "ap_fixed<" in text

@@ -1,0 +1,183 @@
+"""Zoo-wide compile coverage: every paper model lowers and executes.
+
+For each model family (MLP, LeNet, VGG-11, ResNet-18 — the slim
+variants, identical topology at CI scale) this checks the full chain
+the compiler depends on:
+
+* tracing is **stable** (two traces agree layer for layer) and
+  **analytic** (conv/linear shapes and MACs match the closed-form
+  expressions, parameter totals match the model);
+* the deployment **compiles** — every traced layer gets a plan with a
+  concrete integer lowering, residual topologies included;
+* the compiled kernel **executes deterministically** — repeat
+  predictions are byte-identical and per-pass probabilities normalize.
+
+ResNet is the interesting case: its netlist is execution-ordered but
+the residual add happens in the container's forward, so the kernel
+must orchestrate branches through the patched model rather than
+chaining a flat layer list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.hw import trace_network
+from repro.hw.compile import compile_deployment
+from repro.hw.netlist import (
+    KIND_CONV,
+    KIND_DROPOUT,
+    KIND_GPOOL,
+    KIND_LINEAR,
+)
+from repro.serve import Deployment
+
+
+def named_modules(model):
+    """Traced-name -> module map (same normalization the compiler uses)."""
+    modules = {}
+    for path, module in model.model._named_modules():
+        modules.setdefault(path.rstrip("."), module)
+    return modules
+
+#: model -> (dataset, input shape, all-Bernoulli-compatible config).
+ZOO = {
+    "mlp_slim": ("mnist_like", (1, 16, 16), ("B", "B")),
+    "lenet_slim": ("mnist_like", (1, 16, 16), ("B", "B", "M")),
+    "vgg11_slim": ("cifar_like", (3, 32, 32), ("B", "B", "B", "B")),
+    "resnet18_slim": ("cifar_like", (3, 32, 32), ("B", "B", "B", "B")),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(ZOO), ids=sorted(ZOO))
+def zoo_case(request):
+    dataset, in_shape, config = ZOO[request.param]
+    spec = ExperimentSpec(
+        name=f"zoo-{request.param}", model=request.param,
+        dataset=dataset, image_size=in_shape[1], dataset_size=120,
+        seed=31)
+    deployment = Deployment.from_spec(spec, in_shape, config=config)
+    return request.param, deployment
+
+
+@pytest.fixture(scope="module")
+def zoo_kernel(zoo_case):
+    _, deployment = zoo_case
+    return compile_deployment(deployment, calibration_rows=8,
+                              num_samples=2)
+
+
+class TestTraceAnalytics:
+    def test_trace_is_stable(self, zoo_case):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        first = trace_network(model.model, deployment.input_shape)
+        second = trace_network(model.model, deployment.input_shape)
+        assert [(l.name, l.kind, l.in_shape, l.out_shape)
+                for l in first.layers] \
+            == [(l.name, l.kind, l.in_shape, l.out_shape)
+                for l in second.layers]
+
+    def test_conv_shapes_and_macs_are_analytic(self, zoo_case):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        netlist = trace_network(model.model, deployment.input_shape)
+        modules = named_modules(model)
+        convs = [l for l in netlist.layers if l.kind == KIND_CONV]
+        for layer in convs:
+            conv = modules[layer.name]
+            c_in, h_in, w_in = layer.in_shape
+            k, s, p = conv.kernel_size, conv.stride, conv.padding
+            h_out = (h_in + 2 * p - k) // s + 1
+            w_out = (w_in + 2 * p - k) // s + 1
+            assert layer.out_shape == (conv.out_channels, h_out, w_out)
+            assert layer.macs == h_out * w_out * conv.out_channels \
+                * c_in * k * k
+
+    def test_linear_shapes_and_macs_are_analytic(self, zoo_case):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        netlist = trace_network(model.model, deployment.input_shape)
+        modules = named_modules(model)
+        linears = [l for l in netlist.layers if l.kind == KIND_LINEAR]
+        assert linears, "every zoo model ends in a dense classifier"
+        for layer in linears:
+            fc = modules[layer.name]
+            assert int(np.prod(layer.in_shape)) == fc.in_features
+            assert layer.out_shape == (fc.out_features,)
+            assert layer.macs == fc.in_features * fc.out_features
+
+    def test_params_match_model_total(self, zoo_case):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        netlist = trace_network(model.model, deployment.input_shape)
+        assert netlist.total_params == model.model.num_parameters()
+
+    def test_dropout_slots_traced_in_config_order(self, zoo_case):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        netlist = trace_network(model.model, deployment.input_shape)
+        codes = [l.dropout_code for l in netlist.layers
+                 if l.kind == KIND_DROPOUT]
+        assert tuple(codes) == deployment.config
+
+
+class TestZooCompile:
+    def test_every_traced_layer_has_a_plan(self, zoo_case, zoo_kernel):
+        _, deployment = zoo_case
+        model = deployment.instantiate()
+        netlist = trace_network(model.model, deployment.input_shape)
+        assert [p.name for p in zoo_kernel.plans] \
+            == [l.name for l in netlist.layers]
+        assert all(p.in_format is not None and p.out_format is not None
+                   for p in zoo_kernel.plans)
+
+    def test_dropout_plans_match_config(self, zoo_case, zoo_kernel):
+        _, deployment = zoo_case
+        assert tuple(p.dropout_code for p in zoo_kernel.dropout_plans) \
+            == deployment.config
+
+    def test_kernel_predict_is_deterministic(self, zoo_case, zoo_kernel):
+        _, deployment = zoo_case
+        rng = np.random.default_rng(7)
+        images = rng.normal(
+            size=(3,) + deployment.input_shape).astype(np.float32)
+        first = zoo_kernel.predict(images, num_samples=2)
+        second = zoo_kernel.predict(images, num_samples=2)
+        assert first.probs.tobytes() == second.probs.tobytes()
+        assert first.probs.shape == (2, 3, 10)
+        np.testing.assert_allclose(first.probs.sum(axis=-1), 1.0,
+                                   atol=1e-5)
+
+
+class TestResidualTopology:
+    """ResNet-specific: branches, strided downsamples, global pool."""
+
+    @pytest.fixture(scope="class")
+    def resnet_netlist(self):
+        spec = ExperimentSpec(
+            name="zoo-residual", model="resnet18_slim",
+            dataset="cifar_like", image_size=32, dataset_size=120,
+            seed=31)
+        deployment = Deployment.from_spec(
+            spec, (3, 32, 32), config=("B", "B", "B", "B"))
+        model = deployment.instantiate()
+        return trace_network(model.model, (3, 32, 32))
+
+    def test_kinds_present(self, resnet_netlist):
+        kinds = {l.kind for l in resnet_netlist.layers}
+        assert {KIND_CONV, KIND_GPOOL, KIND_LINEAR} <= kinds
+
+    def test_downsample_convs_are_strided(self, resnet_netlist):
+        strided = [l for l in resnet_netlist.layers
+                   if l.kind == KIND_CONV
+                   and l.in_shape[1] == 2 * l.out_shape[1]]
+        # Three stage transitions halve the feature map.
+        assert len(strided) >= 3
+
+    def test_gpool_collapses_spatial_dims(self, resnet_netlist):
+        gpool = [l for l in resnet_netlist.layers
+                 if l.kind == KIND_GPOOL]
+        assert len(gpool) == 1
+        c = gpool[0].in_shape[0]
+        assert gpool[0].out_shape in ((c,), (c, 1, 1))

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hw import AcceleratorConfig, estimate, estimate_power, trace_network
+from repro.hw import (
+    AcceleratorConfig,
+    FixedPointFormat,
+    estimate,
+    estimate_power,
+    trace_network,
+)
 from repro.hw.dropout_hw import dropout_stall_cycles
 from repro.models import build_model
 
@@ -118,3 +124,87 @@ class TestResourceProperties:
         high = estimate(lenet_netlist,
                         AcceleratorConfig(pe=8, weight_residency=r_b))
         assert low.resources.bram36 <= high.resources.bram36
+
+
+#: Formats the quantization properties are checked against — the
+#: paper's <16,8> plus narrow/wide words and extreme fraction splits.
+_FORMATS = st.integers(4, 24).flatmap(
+    lambda total: st.integers(0, min(12, total - 1)).map(
+        lambda frac: FixedPointFormat(total_bits=total,
+                                      fraction_bits=frac)))
+
+_VALUES = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False,
+                    width=32)
+
+
+class TestFixedPointQuantizeProperties:
+    """Round-trip invariants of :meth:`FixedPointFormat.quantize`.
+
+    The fixed-point compiler (:mod:`repro.hw.compile`) reuses these
+    semantics for every tensor it lowers; the properties here pin the
+    contract the integer kernel's requantization steps must honor.
+    """
+
+    @given(fmt=_FORMATS, x=_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_is_idempotent(self, fmt, x):
+        once = fmt.quantize(np.float32(x))
+        twice = fmt.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @given(fmt=_FORMATS, x=_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_saturation_at_extremes(self, fmt, x):
+        q = float(fmt.quantize(np.float64(x)))
+        assert fmt.min_value <= q <= fmt.max_value
+        if x >= fmt.max_value:
+            assert q == np.float32(fmt.max_value)
+        if x <= fmt.min_value:
+            assert q == np.float32(fmt.min_value)
+
+    @given(fmt=_FORMATS, x=_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_round_to_nearest_within_half_lsb(self, fmt, x):
+        # In-range values land on the nearest representable grid
+        # point: |x - quantize(x)| <= scale / 2.
+        x = float(np.clip(x, fmt.min_value, fmt.max_value))
+        q = float(fmt.quantize(np.float64(x)))
+        assert abs(x - q) <= fmt.scale / 2 + 1e-12
+
+    @given(fmt=_FORMATS, code=st.integers(-2**20, 2**20))
+    @settings(max_examples=200, deadline=None)
+    def test_ties_round_half_to_even(self, fmt, code):
+        # A value exactly between two codes resolves to the even code
+        # (numpy rint semantics), unless saturation clips it first.
+        lo = -(2 ** (fmt.total_bits - 1))
+        hi = 2 ** (fmt.total_bits - 1) - 1
+        code = int(np.clip(code, lo, hi - 1))
+        tie = (code + 0.5) * fmt.scale
+        got = int(fmt.to_fixed(np.float64(tie)))
+        expected = code if code % 2 == 0 else code + 1
+        assert got == expected
+
+    @given(fmt=_FORMATS, x=_VALUES, y=_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_is_monotone(self, fmt, x, y):
+        if x > y:
+            x, y = y, x
+        assert float(fmt.quantize(np.float64(x))) <= float(
+            fmt.quantize(np.float64(y)))
+
+    @given(total=st.integers(6, 24),
+           frac=st.integers(0, 5), x=_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_error_nonincreasing_in_fraction_bits(self, total, frac,
+                                                  x):
+        # With the value in range of the *finer* format, adding
+        # fraction bits (at fixed integer bits) never increases the
+        # quantization error — the scale-monotonicity law the
+        # per-layer format assignment relies on.
+        coarse = FixedPointFormat(total_bits=total, fraction_bits=frac)
+        fine = FixedPointFormat(total_bits=total + 1,
+                                fraction_bits=frac + 1)
+        x = float(np.clip(x, coarse.min_value, coarse.max_value))
+        err_coarse = coarse.quantization_error(np.float64(x))
+        err_fine = fine.quantization_error(np.float64(x))
+        assert err_fine <= err_coarse + 1e-12
