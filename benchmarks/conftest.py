@@ -34,6 +34,11 @@ def pytest_addoption(parser):
         help="run benches at smoke scale (small workloads, few "
              "repetitions) — used by CI to gate on relative results "
              "without paying full measurement cost")
+    parser.addoption(
+        "--bench-replicas", type=int, default=0, metavar="N",
+        help="replica pool size for the serve SLO bench (0 = pick a "
+             "default); the bench records throughput but gates only "
+             "on correctness — CI hosts are single-core")
 
 
 @pytest.fixture(scope="session")
@@ -48,13 +53,22 @@ def bench_json(request):
 
     ``bench_json(name, payload)`` dumps ``payload`` (any JSON-able
     mapping) to ``BENCH_<name>.json`` under ``--bench-json`` (or
-    ``benchmarks/out/``) and returns the path.
+    ``benchmarks/out/``) and returns the path.  ``merge=True``
+    read-merge-writes: top-level keys of ``payload`` are merged over
+    the existing record, so independent benches (e.g. the serve
+    throughput and replica-SLO tests) can share one file without
+    clobbering each other.
     """
     out_dir = request.config.getoption("--bench-json") or OUT_DIR
 
-    def _write(name: str, payload) -> str:
+    def _write(name: str, payload, *, merge: bool = False) -> str:
         os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, f"BENCH_{name}.json")
+        if merge and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            record.update(payload)
+            payload = record
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -169,6 +169,59 @@ def _finish(model: Module, layers: List[DropoutLayer], num_samples: int,
         model.train()
 
 
+def mc_predict_span(model: Module, images: np.ndarray,
+                    num_samples: int = 3, *,
+                    pass_start: int = 0,
+                    pass_stop: Optional[int] = None,
+                    batch_size: Optional[int] = None) -> np.ndarray:
+    """Passes ``[pass_start, pass_stop)`` of a ``T``-sample prediction.
+
+    The partial-evaluation form of the looped engine: the mask plan is
+    still drawn at the canonical ``(num_samples, N, ...)`` full-batch
+    shape (the stream is a function of ``num_samples`` and the input
+    batch only, never of the span), and each requested pass runs as a
+    full-row forward — so ``mc_predict_span(m, x, T, pass_start=a,
+    pass_stop=b)`` is bit-identical to ``mc_predict(m, x, T).probs[a:b]``
+    for any sub-span.  This is what lets a replica pool
+    (:mod:`repro.serve.replicas`) split one fused batch across processes
+    along the pass axis without perturbing a single bit: every GEMM in
+    every pass keeps the exact row count of the single-process
+    reference, which a *row* split would not (BLAS rounding depends on
+    the GEMM's row count; see the module docstring).
+
+    Returns the raw probabilities, shape ``(pass_stop - pass_start, N,
+    K)`` — a span is not a complete posterior, so it is not wrapped in
+    :class:`MCPrediction`.
+    """
+    check_positive_int(num_samples, "num_samples")
+    if pass_stop is None:
+        pass_stop = num_samples
+    if not 0 <= pass_start < pass_stop <= num_samples:
+        raise ValueError(
+            f"pass span [{pass_start}, {pass_stop}) out of range for "
+            f"{num_samples} Monte-Carlo samples")
+    was_training = model.training
+    model.eval()
+    layers = _mc_layers(model)
+    for layer in layers:
+        layer.reset_samples()
+    n = images.shape[0]
+    ctx = MCBatchContext(num_samples, n)
+    all_probs = []
+    with mc_batch(ctx):
+        for t in range(pass_start, pass_stop):
+            ctx.set_sample(t)
+            chunks = []
+            for start, rows in _chunk_bounds(n, batch_size):
+                ctx.set_chunk(start, rows)
+                chunks.append(model(images[start:start + rows]))
+            logits = chunks[0] if len(chunks) == 1 else np.concatenate(
+                chunks, axis=0)
+            all_probs.append(softmax(logits, axis=1))
+    _finish(model, layers, num_samples, was_training)
+    return np.stack(all_probs, axis=0)
+
+
 def mc_predict_looped(model: Module, images: np.ndarray,
                       num_samples: int = 3, *,
                       batch_size: Optional[int] = None) -> MCPrediction:
@@ -179,27 +232,8 @@ def mc_predict_looped(model: Module, images: np.ndarray,
     per-pass in-layer sampling, and with micro-batching the mask stream
     is unchanged — only activations are processed in chunks.
     """
-    check_positive_int(num_samples, "num_samples")
-    was_training = model.training
-    model.eval()
-    layers = _mc_layers(model)
-    for layer in layers:
-        layer.reset_samples()
-    n = images.shape[0]
-    ctx = MCBatchContext(num_samples, n)
-    all_probs = []
-    with mc_batch(ctx):
-        for t in range(num_samples):
-            ctx.set_sample(t)
-            chunks = []
-            for start, rows in _chunk_bounds(n, batch_size):
-                ctx.set_chunk(start, rows)
-                chunks.append(model(images[start:start + rows]))
-            logits = chunks[0] if len(chunks) == 1 else np.concatenate(
-                chunks, axis=0)
-            all_probs.append(softmax(logits, axis=1))
-    _finish(model, layers, num_samples, was_training)
-    return MCPrediction(probs=np.stack(all_probs, axis=0))
+    return MCPrediction(probs=mc_predict_span(
+        model, images, num_samples, batch_size=batch_size))
 
 
 def mc_predict_batched(model: Module, images: np.ndarray,

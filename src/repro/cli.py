@@ -11,7 +11,8 @@ Built on the :mod:`repro.api` experiment layer.  Five commands:
   serving deployment directory;
 * ``serve`` — drive the async micro-batching uncertainty service over
   an exported deployment (``--smoke`` answers one request and exits;
-  ``--backend fixed`` serves through the compiled integer kernel);
+  ``--backend fixed`` serves through the compiled integer kernel;
+  ``--replicas N`` shards fused batches across N forked workers);
 * ``compile`` — lower a deployment to the executable fixed-point
   kernel and print its measured float-vs-fixed fidelity report;
 * ``search`` — ad-hoc four-phase search from flat flags;
@@ -25,6 +26,7 @@ Examples::
     python -m repro.cli serve --deployment deploy/ --smoke
     python -m repro.cli compile --deployment deploy/
     python -m repro.cli serve --deployment deploy/ --backend fixed
+    python -m repro.cli serve --deployment deploy/ --replicas 4
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
         --image-size 16 --aims accuracy latency
     python -m repro.cli generate --config B-K-M --outdir gen/
@@ -134,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serving backend: float MC engines or the "
                               "compiled fixed-point integer kernel "
                               "(default: float)")
+    p_serve.add_argument("--replicas", type=int, default=0,
+                         help="forked worker processes sharding each "
+                              "fused batch (0 = serve inline; responses "
+                              "are byte-identical either way)")
+    p_serve.add_argument("--replica-timeout-s", type=float, default=30.0,
+                         help="per-shard timeout before a replica is "
+                              "declared wedged and respawned "
+                              "(default: 30)")
 
     p_compile = sub.add_parser(
         "compile",
@@ -355,12 +365,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue_rows=max(args.batch_rows, num_requests),
         num_samples=args.samples,
         backend=args.backend,
-        kernel=kernel)
+        kernel=kernel,
+        replicas=max(0, args.replicas),
+        replica_timeout_s=args.replica_timeout_s)
+    # service.engine is None on the fixed backend: no float MC engine
+    # runs there, and pretending one does misleads operators.
     print(f"deployment: model={deployment.spec.model} "
           f"config={config_to_string(deployment.config)} "
           f"T={service.num_samples} "
-          f"engine={deployment.spec.engine} "
+          f"engine={service.engine} "
           f"backend={service.backend} "
+          f"replicas={service.replicas} "
           f"fixed_point=<{deployment.fixed_point.total_bits},"
           f"{deployment.fixed_point.fraction_bits}>")
     posteriors = asyncio.run(_drive_service(service, requests))
@@ -374,6 +389,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{stats['coalesce_ratio']:.2f}, "
           f"p50={stats['latency_p50_ms']:.1f}ms "
           f"p99={stats['latency_p99_ms']:.1f}ms")
+    pool = stats.get("replicas")
+    if pool:
+        # Stats render after the graceful drain, when every worker has
+        # been reaped on purpose — DEAD only means dead mid-flight.
+        workers = ", ".join(
+            f"#{w['index']}:{w['shards']} shard(s)"
+            f"{' DEAD' if pool['running'] and not w['alive'] else ''}"
+            for w in pool["workers"])
+        print(f"replica pool: axis={pool['axis']} "
+              f"shared={pool['shared_bytes']} bytes "
+              f"redispatches={pool['redispatches']} "
+              f"fallbacks={pool['fallbacks']} [{workers}]")
     return 0
 
 

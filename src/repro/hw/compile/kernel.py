@@ -284,7 +284,9 @@ class CompiledKernel:
     # Execution
     # ------------------------------------------------------------------
     def predict(self, images: np.ndarray,
-                num_samples: Optional[int] = None) -> MCPrediction:
+                num_samples: Optional[int] = None, *,
+                total_rows: Optional[int] = None,
+                row_start: int = 0) -> MCPrediction:
         """``T`` quantized Monte-Carlo passes under the serving contract.
 
         Mirrors :meth:`repro.serve.Deployment.predict`: every active
@@ -292,6 +294,15 @@ class CompiledKernel:
         and draws its canonical pass-major full-batch mask plan; the
         plans are quantized to the mask format and applied as integer
         multiplies inside the fixed-point forward passes.
+
+        ``total_rows``/``row_start`` evaluate ``images`` as a row
+        window of a larger fused batch: the mask plan is drawn at the
+        canonical ``(T, total_rows, ...)`` shape and sliced to the
+        window, and because every arithmetic step is integer (row-local
+        by construction, unlike float GEMMs) the result is
+        byte-identical to rows ``[row_start, row_start + n)`` of a full
+        ``predict`` on the fused batch.  This is the fixed backend's
+        sharding primitive (:mod:`repro.serve.replicas`).
 
         Returns:
             An :class:`MCPrediction` whose per-pass probabilities are
@@ -309,8 +320,16 @@ class CompiledKernel:
                 f"(n,) + {expected}, got {images.shape}")
         model = self._ensure_model()
         rows = images.shape[0]
+        if total_rows is None:
+            total_rows, row_start = rows, 0
+        total_rows, row_start = int(total_rows), int(row_start)
+        if not 0 <= row_start <= row_start + rows <= total_rows:
+            raise ValueError(
+                f"row window [{row_start}, {row_start + rows}) out of "
+                f"range for a fused batch of {total_rows} rows")
 
-        # Canonical mask plans, quantized (the serving reseed contract).
+        # Canonical mask plans, quantized (the serving reseed contract),
+        # drawn at the fused-batch shape and sliced to our window.
         plans = {p.slot_name: p for p in self.dropout_plans}
         mask_codes: List[Tuple[str, np.ndarray]] = []
         for index, layer in enumerate(model.active_dropout_layers()):
@@ -318,9 +337,12 @@ class CompiledKernel:
             plan = plans[slot_name]
             layer.reseed(derive_seed(deployment.serve_seed, index))
             masks = layer.sample_masks(num_samples,
-                                       (rows,) + plan.in_shape)
-            mask_codes.append((slot_name,
-                               plan.mask_format.to_fixed(masks)))
+                                       (total_rows,) + plan.in_shape)
+            codes = plan.mask_format.to_fixed(masks)
+            if codes.shape[1] != 1:
+                # Row-broadcast plans (one mask per pass) need no slice.
+                codes = codes[:, row_start:row_start + rows]
+            mask_codes.append((slot_name, codes))
 
         probs = np.empty((num_samples, rows, self.num_classes),
                          dtype=DTYPE)
@@ -333,6 +355,56 @@ class CompiledKernel:
         finally:
             self._pass_masks = {}
         return MCPrediction(probs=np.ascontiguousarray(probs))
+
+    # ------------------------------------------------------------------
+    # Tensor sharing (replica pools)
+    # ------------------------------------------------------------------
+    def tensor_arrays(self) -> Dict[str, np.ndarray]:
+        """Every plan tensor, flat-keyed ``"<layer name>/<tensor key>"``.
+
+        The zero-copy surface of the kernel: a replica pool copies
+        these arrays into shared memory once and hands the views back
+        through :meth:`rebind_tensors`, so N forked workers execute the
+        same physical weight pages.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for plan in self.plans:
+            for key, tensor in plan.tensors.items():
+                arrays[f"{plan.name}/{key}"] = tensor
+        return arrays
+
+    def rebind_tensors(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Repoint plan tensors at ``arrays`` (shared-memory views).
+
+        Keys follow :meth:`tensor_arrays`; shapes and dtypes must match
+        the tensors being replaced (the values are expected to be
+        byte-equal copies — rebinding relocates storage, it never
+        changes arithmetic).  Invalidates the private patched model so
+        the integer ops re-capture the new arrays on next use.
+        """
+        for plan in self.plans:
+            for key in plan.tensors:
+                flat = f"{plan.name}/{key}"
+                if flat not in arrays:
+                    continue
+                old, new = plan.tensors[key], arrays[flat]
+                if new.shape != old.shape or new.dtype != old.dtype:
+                    raise CompileError(
+                        f"rebind of {flat!r} changes "
+                        f"{old.dtype}{old.shape} to {new.dtype}{new.shape}")
+                plan.tensors[key] = new
+        self._model = None
+        self._slot_order = []
+
+    def warm(self) -> "CompiledKernel":
+        """Instantiate and patch the private model now.
+
+        Replica pools call this before forking so every worker inherits
+        the already-built model (and its captured shared tensors)
+        instead of paying instantiation per process.
+        """
+        self._ensure_model()
+        return self
 
     # ------------------------------------------------------------------
     # Private model wiring

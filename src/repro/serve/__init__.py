@@ -5,7 +5,7 @@ concurrent prediction requests and answering each with a calibrated
 posterior (mean probabilities, predictive entropy, mutual information)
 from fused MC-dropout forward passes.
 
-Three layers:
+Four layers:
 
 * :class:`Deployment` — the serving artifact (spec + chosen dropout
   configuration + trained weights + fixed-point metadata), exportable
@@ -13,6 +13,11 @@ Three layers:
 * :class:`MicroBatcher` — the asyncio admission policy coalescing
   concurrent requests into fused batches with bounded wait, bounded
   queue (backpressure) and deterministic request→slice bookkeeping;
+* :class:`ReplicaPool` — N forked worker processes sharing one
+  zero-copy weight mapping; a deterministic router shards each fused
+  batch across them (Monte-Carlo passes on the float backend, rows on
+  the fixed backend) and reassembles the byte-exact posterior, with
+  health tracking, shard re-dispatch and respawn on failure;
 * :class:`UncertaintyService` — ``await predict(images)`` →
   :class:`PosteriorSlice`, plus operational counters.
 
@@ -35,6 +40,12 @@ from repro.serve.deployment import (
     Deployment,
     DeploymentError,
 )
+from repro.serve.replicas import (
+    ReplicaError,
+    ReplicaPool,
+    Shard,
+    plan_shards,
+)
 from repro.serve.scheduler import BackpressureError, MicroBatcher
 from repro.serve.service import (
     BACKENDS,
@@ -52,5 +63,9 @@ __all__ = [
     "LATENCY_WINDOW",
     "MicroBatcher",
     "PosteriorSlice",
+    "ReplicaError",
+    "ReplicaPool",
+    "Shard",
     "UncertaintyService",
+    "plan_shards",
 ]

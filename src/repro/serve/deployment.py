@@ -28,6 +28,8 @@ for a given fused batch, no serving history required.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -42,7 +44,7 @@ from repro.api.stages import (
     TrainStage,
     build_supernet,
 )
-from repro.bayes.mc import MCPrediction, mc_predict
+from repro.bayes.mc import MCPrediction, mc_predict, mc_predict_span
 from repro.hw.fixed_point import FixedPointFormat
 from repro.search import SearchResult, Supernet, get_aim
 from repro.search.space import (
@@ -298,6 +300,39 @@ class Deployment:
                 f"{exc}") from exc
 
     # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines predictions.
+
+        Two deployments with equal fingerprints answer every request
+        identically: the hash covers the spec, the chosen config, the
+        input shape, the serve seed, the fixed-point format and every
+        weight array byte.  Provenance-only fields (``aim``) are
+        excluded — where a config came from cannot change what it
+        computes.  This is the equality the serving stack uses to pair
+        independently loaded artifacts (e.g. a ``repro compile`` kernel
+        with a re-loaded deployment of the same run), where object
+        identity is meaningless.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps({
+            "spec": self.spec.to_dict(),
+            "config": config_to_string(self.config),
+            "input_shape": list(self.input_shape),
+            "serve_seed": int(self.serve_seed),
+            "fixed_point": [self.fixed_point.total_bits,
+                            self.fixed_point.fraction_bits],
+        }, sort_keys=True).encode("utf-8"))
+        for name in sorted(self.weights):
+            array = np.ascontiguousarray(self.weights[name])
+            digest.update(name.encode("utf-8"))
+            digest.update(str(array.dtype).encode("utf-8"))
+            digest.update(str(array.shape).encode("utf-8"))
+            digest.update(array.tobytes())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def instantiate(self) -> Supernet:
@@ -339,6 +374,28 @@ class Deployment:
             self.spec.mc_samples if num_samples is None else num_samples,
             batch_size=batch_size,
             engine=self.spec.engine if engine is None else engine)
+
+    def predict_span(self, model: Supernet, images: np.ndarray, *,
+                     pass_start: int, pass_stop: int,
+                     num_samples: Optional[int] = None) -> np.ndarray:
+        """Passes ``[pass_start, pass_stop)`` of the fused prediction.
+
+        Reseeds exactly like :meth:`predict`, then evaluates only the
+        requested Monte-Carlo passes through
+        :func:`repro.bayes.mc.mc_predict_span` — the mask plan is still
+        the canonical full-batch ``(T, N, ...)`` draw, so the returned
+        probabilities are bit-identical to
+        ``self.predict(model, images).probs[pass_start:pass_stop]``.
+        This is the float backend's sharding primitive: a replica pool
+        splits one fused batch across processes along the pass axis
+        (each pass keeps the single-process GEMM row count) and
+        reassembles the byte-exact posterior.
+        """
+        self.reseed(model)
+        return mc_predict_span(
+            model, images,
+            self.spec.mc_samples if num_samples is None else num_samples,
+            pass_start=pass_start, pass_stop=pass_stop)
 
 
 __all__ = [

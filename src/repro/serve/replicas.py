@@ -1,0 +1,663 @@
+"""Multi-process replica pool: shard fused batches, keep every bit.
+
+One GIL-bound process is the serving stack's throughput ceiling — the
+:class:`~repro.serve.scheduler.MicroBatcher` buys ~3x from coalescing
+and nothing past that.  The FPGA accelerators this repo shadows (Fan et
+al.'s BNN accelerators) scale instead by *replicating compute units
+behind one batching front-end*; :class:`ReplicaPool` is that shape in
+software: N forked worker processes, each executing slices of the
+fused batch the batcher just closed.
+
+Three properties make the pool production-shaped rather than a toy
+``fork()`` fan-out:
+
+**Zero-copy weights.**  Model parameters (float backend) or
+pre-quantized kernel tensors (fixed backend) are copied *once* into an
+anonymous shared ``mmap`` and the live arrays are repointed at the
+views before any fork, so all workers execute the same physical pages
+— replica count does not multiply the deployment's memory.
+
+**Deterministic, bit-preserving sharding.**  The router records an
+explicit request→replica→span plan per fused batch
+(:func:`plan_shards`), and the shard axis is chosen per backend so the
+reassembled posterior is **byte-identical** to single-process
+``mc_predict`` / ``kernel.predict`` on the same fused rows:
+
+* ``fixed`` shards along **rows** — integer arithmetic is row-local,
+  and :meth:`CompiledKernel.predict`'s row window replays the
+  canonical full-batch mask plan sliced to the shard;
+* ``float`` shards along **Monte-Carlo passes** — float GEMM rounding
+  depends on the GEMM's row count (see :mod:`repro.nn.inference`), so
+  row slices of a BLAS matmul are *not* byte-stable; per-pass
+  evaluation at the full row count (:func:`repro.bayes.mc.
+  mc_predict_span`) is.  Each worker reseeds per fused batch and draws
+  the same canonical ``(T, N, ...)`` plan, exactly as the tentpole
+  contract requires — the plan is replayed per shard, never reseeded
+  per shard.
+
+**Health, drain and restart.**  Every shard round-trip is bounded by a
+timeout; a killed worker surfaces as EOF, a wedged one as a poll
+timeout.  Either way the shard is re-dispatched to a healthy replica
+(or computed inline in the parent, which keeps the model — no caller
+future is ever dropped or reordered), the dead process is reaped and a
+fresh one forked into its slot.  Per-replica counters (shards, units,
+failures, restarts, latency) surface through
+:meth:`UncertaintyService.stats`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bayes.mc import MCPrediction
+from repro.utils.validation import check_positive_int
+
+#: Shard axes, by backend: float shards Monte-Carlo passes (GEMM row
+#: counts must match the single-process reference bit-for-bit), fixed
+#: shards rows (integer arithmetic is row-local).
+AXES = ("passes", "rows")
+
+#: Shared-memory view alignment — matches a fresh numpy allocation so
+#: relocating an array cannot perturb vectorized kernels.
+_ALIGNMENT = 64
+
+
+class ReplicaError(RuntimeError):
+    """A replica failed out-of-band: killed, wedged or unreachable.
+
+    Transport-level only — the shard is re-dispatched.  Deterministic
+    *compute* errors raised inside a worker are re-raised in the parent
+    as plain ``RuntimeError`` (re-dispatching them would fail
+    everywhere).
+    """
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One routed slice of a fused batch.
+
+    Attributes:
+        replica: pool slot index the shard was routed to.
+        axis: ``"rows"`` or ``"passes"``.
+        start / stop: half-open span along ``axis``.
+    """
+
+    replica: int
+    axis: str
+    start: int
+    stop: int
+
+    @property
+    def units(self) -> int:
+        return self.stop - self.start
+
+
+def split_spans(total: int, lanes: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` spans covering ``total``.
+
+    At most ``lanes`` spans, never an empty one; earlier spans take the
+    remainder (the :mod:`repro.search.parallel` shard rule).
+    """
+    lanes = max(1, min(int(lanes), int(total)))
+    base, extra = divmod(int(total), lanes)
+    spans = []
+    start = 0
+    for lane in range(lanes):
+        stop = start + base + (1 if lane < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def plan_shards(axis: str, total_rows: int, num_samples: int,
+                replica_indices: List[int]) -> List[Shard]:
+    """The deterministic request→replica→span route for one batch.
+
+    Pure function of ``(axis, total_rows, num_samples, healthy
+    replicas)`` — the bookkeeping a byte-identity audit replays.  The
+    sharded dimension is ``num_samples`` on the pass axis and
+    ``total_rows`` on the row axis; parallelism is capped by that
+    dimension (e.g. ``T = 3`` float serving uses at most 3 replicas per
+    batch).
+    """
+    if axis not in AXES:
+        raise ValueError(f"unknown shard axis {axis!r}; choose from {AXES}")
+    if not replica_indices:
+        raise ValueError("cannot plan shards over zero replicas")
+    total = int(num_samples) if axis == "passes" else int(total_rows)
+    return [Shard(replica=replica_indices[lane], axis=axis,
+                  start=start, stop=stop)
+            for lane, (start, stop) in enumerate(
+                split_spans(total, len(replica_indices)))]
+
+
+# ----------------------------------------------------------------------
+# Zero-copy weight sharing
+# ----------------------------------------------------------------------
+def share_arrays(arrays: Dict[str, np.ndarray]):
+    """Copy ``arrays`` into one anonymous shared mapping.
+
+    Returns ``(buffer, views, nbytes)`` where ``views[name]`` is a
+    writable ndarray view into the mapping holding a byte-equal copy of
+    ``arrays[name]``.  The mapping is created with ``mmap.mmap(-1, …)``
+    (``MAP_SHARED | MAP_ANONYMOUS``), so children forked afterwards see
+    the *same physical pages*, not copy-on-write duplicates.
+    """
+    names = sorted(arrays)
+    layout = []
+    offset = 0
+    for name in names:
+        array = np.ascontiguousarray(arrays[name])
+        layout.append((name, offset, array))
+        offset += -(-array.nbytes // _ALIGNMENT) * _ALIGNMENT
+    buffer = mmap.mmap(-1, max(offset, mmap.PAGESIZE))
+    views = {}
+    for name, start, array in layout:
+        view = np.frombuffer(buffer, dtype=array.dtype, count=array.size,
+                             offset=start).reshape(array.shape)
+        view[...] = array
+        views[name] = view
+    return buffer, views, offset
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    """Everything a forked worker needs, inherited through fork."""
+
+    axis: str
+    deployment: object
+    model: object = None
+    kernel: object = None
+    shared: Optional[Dict[str, np.ndarray]] = None
+
+
+def _worker_main(conn, state: _WorkerState) -> None:
+    """Forked worker loop: serve shard requests until told to stop.
+
+    Pure synchronous — the parent's event loop is inherited by fork but
+    never touched here.  Any exit (stop message, EOF from a closed
+    parent, unwritable pipe) just returns; the parent owns lifecycle.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op, seq = message[0], message[1]
+        if op == "stop":
+            try:
+                conn.send((seq, "ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            if op == "predict":
+                images, num_samples, start, stop, total_rows = message[2:]
+                if state.axis == "rows":
+                    result = state.kernel.predict(
+                        images, num_samples=num_samples,
+                        total_rows=total_rows, row_start=start).probs
+                else:
+                    result = state.deployment.predict_span(
+                        state.model, images, num_samples=num_samples,
+                        pass_start=start, pass_stop=stop)
+                reply = (seq, "ok", result)
+            elif op == "ping":
+                reply = (seq, "ok", os.getpid())
+            elif op == "peek":
+                # Read one cell of a shared array — lets tests prove the
+                # mapping is shared memory, not a copy-on-write clone.
+                name, flat_index = message[2:]
+                reply = (seq, "ok",
+                         state.shared[name].reshape(-1)[flat_index].item())
+            elif op == "wedge":
+                # Test hook: simulate a hung replica.
+                time.sleep(float(message[2]))
+                reply = (seq, "ok", None)
+            else:
+                reply = (seq, "error", f"unknown op {op!r}")
+        except Exception as exc:  # surfaced to the parent, loop survives
+            reply = (seq, "error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _ReplicaHandle:
+    """Parent-side record of one pool slot.
+
+    Counters are per *slot* and survive restarts — operators care about
+    how often slot 2 died, not about forgetting it on respawn.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.pid: Optional[int] = None
+        self.alive = False
+        self.shards = 0
+        self.units = 0
+        self.failures = 0
+        self.restarts = 0
+        self.latency_last_s = 0.0
+        self.latency_total_s = 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "alive": self.alive,
+            "shards": self.shards,
+            "units": self.units,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "latency_last_ms": self.latency_last_s * 1e3,
+            "latency_mean_ms": (self.latency_total_s / self.shards * 1e3
+                                if self.shards else 0.0),
+        }
+
+
+class ReplicaPool:
+    """N forked workers answering shards of fused Monte-Carlo batches.
+
+    Args:
+        deployment: the serving artifact (must round-trip through
+            fork intact; it is inherited, never pickled).
+        replicas: worker process count.
+        backend: ``"float"`` (pass-axis sharding over ``model``) or
+            ``"fixed"`` (row-axis sharding over ``kernel``).
+        num_samples: default Monte-Carlo passes per fused batch.
+        model: instantiated supernet (float backend).
+        kernel: compiled kernel (fixed backend).
+        timeout_s: per-shard round-trip bound; a replica that exceeds
+            it is declared wedged, killed and respawned, and its shard
+            re-dispatched.
+
+    The pool is synchronous by design: :meth:`predict` is called from
+    the batcher's ``predict_fn`` slot, which already runs inline on the
+    event loop.  Shards execute concurrently across worker processes;
+    the parent blocks only on collection.
+    """
+
+    def __init__(self, deployment, *, replicas: int, num_samples: int,
+                 backend: str = "float", model=None, kernel=None,
+                 timeout_s: float = 30.0) -> None:
+        check_positive_int(replicas, "replicas")
+        check_positive_int(num_samples, "num_samples")
+        if backend not in ("float", "fixed"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if not self.available():
+            raise ReplicaError(
+                "replica pool requires the 'fork' start method "
+                "(POSIX only)")
+        self.deployment = deployment
+        self.backend = backend
+        self.axis = "rows" if backend == "fixed" else "passes"
+        self.replicas = int(replicas)
+        self.num_samples = int(num_samples)
+        self.timeout_s = float(timeout_s)
+        self._ctx = multiprocessing.get_context("fork")
+        self._seq = 0
+        self._running = False
+        self.batches = 0
+        self.dispatches = 0
+        self.redispatches = 0
+        self.fallbacks = 0
+        self.last_route: List[Shard] = []
+
+        # Map the weights into shared memory *before* any fork and
+        # repoint the live objects at the views, so every worker (and
+        # the parent's own fallback path) executes the same pages.
+        if backend == "fixed":
+            if kernel is None:
+                raise ValueError("fixed-backend pool requires kernel=")
+            self._buffer, self._shared, self.shared_bytes = share_arrays(
+                kernel.tensor_arrays())
+            kernel.rebind_tensors(self._shared)
+            kernel.warm()
+            self._model, self._kernel = None, kernel
+        else:
+            if model is None:
+                raise ValueError("float-backend pool requires model=")
+            unique = {}
+            for name, parameter in model.named_parameters():
+                unique.setdefault(id(parameter), (name, parameter))
+            arrays = {name: p.data for name, p in unique.values()}
+            self._buffer, self._shared, self.shared_bytes = share_arrays(
+                arrays)
+            for name, parameter in unique.values():
+                parameter.data = self._shared[name]
+            self._model, self._kernel = model, None
+        self._state = _WorkerState(
+            axis=self.axis, deployment=deployment,
+            model=self._model, kernel=self._kernel, shared=self._shared)
+        self._handles = [_ReplicaHandle(i) for i in range(self.replicas)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available() -> bool:
+        """Whether this platform can host a pool (fork start method)."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def shared_view(self, name: str) -> np.ndarray:
+        """The parent's view of one shared array (tests/diagnostics)."""
+        return self._shared[name]
+
+    def shared_names(self) -> List[str]:
+        return sorted(self._shared)
+
+    def stats(self) -> Dict[str, object]:
+        """Pool- and per-replica operational counters."""
+        return {
+            "replicas": self.replicas,
+            "axis": self.axis,
+            "backend": self.backend,
+            "running": self._running,
+            "shared_bytes": self.shared_bytes,
+            "batches": self.batches,
+            "dispatches": self.dispatches,
+            "redispatches": self.redispatches,
+            "fallbacks": self.fallbacks,
+            "workers": [handle.stats() for handle in self._handles],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicaPool":
+        """Fork the workers (idempotent)."""
+        if not self._running:
+            self._running = True
+            for handle in self._handles:
+                self._spawn(handle, initial=True)
+        return self
+
+    def stop(self) -> None:
+        """Drain and reap every worker (idempotent).
+
+        Polite first (a ``stop`` message lets the worker finish an
+        in-flight shard reply), then firm (terminate + join).  In-flight
+        work is never abandoned mid-``predict`` because ``predict`` is
+        synchronous — by the time ``stop`` runs, every caller future
+        from the batcher has already been resolved.
+        """
+        if not self._running:
+            return
+        self._running = False
+        for handle in self._handles:
+            if handle.conn is not None:
+                try:
+                    self._seq += 1
+                    handle.conn.send(("stop", self._seq))
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._handles:
+            if handle.process is not None:
+                handle.process.join(timeout=2.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=2.0)
+                handle.process = None
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                handle.conn = None
+            handle.alive = False
+
+    def _spawn(self, handle: _ReplicaHandle, *, initial: bool = False) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self._state), daemon=True)
+        process.start()
+        # Close our copy of the child end: a SIGKILLed worker then
+        # surfaces as EOF on the parent end instead of a silent hang.
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.pid = process.pid
+        handle.alive = True
+        if not initial:
+            handle.restarts += 1
+
+    def _retire(self, handle: _ReplicaHandle) -> None:
+        """Reap a failed worker and fork a replacement into its slot."""
+        handle.alive = False
+        handle.failures += 1
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=2.0)
+            handle.process = None
+        if self._running:
+            self._spawn(handle)
+
+    # ------------------------------------------------------------------
+    # Worker protocol (parent side)
+    # ------------------------------------------------------------------
+    def _send(self, handle: _ReplicaHandle, op: str, *args) -> int:
+        """Post one message; returns its sequence number."""
+        self._seq += 1
+        try:
+            handle.conn.send((op, self._seq) + args)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ReplicaError(
+                f"replica {handle.index} unreachable: {exc}") from exc
+        return self._seq
+
+    def _collect(self, handle: _ReplicaHandle, seq: int, deadline: float):
+        """Await the reply to ``seq``; ReplicaError on EOF/timeout."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReplicaError(
+                    f"replica {handle.index} timed out after "
+                    f"{self.timeout_s:.1f}s")
+            try:
+                if not handle.conn.poll(remaining):
+                    continue
+                reply = handle.conn.recv()
+            except (EOFError, ConnectionResetError, OSError) as exc:
+                raise ReplicaError(
+                    f"replica {handle.index} died: {exc}") from exc
+            if reply[0] != seq:
+                continue  # stale reply from a shard we already gave up on
+            if reply[1] == "error":
+                raise RuntimeError(
+                    f"replica {handle.index} compute error: {reply[2]}")
+            return reply[2]
+
+    def call(self, index: int, op: str, *args,
+             timeout: Optional[float] = None):
+        """Synchronous round-trip to one replica (tests/diagnostics)."""
+        handle = self._handles[index]
+        if not handle.alive:
+            raise ReplicaError(f"replica {index} is not alive")
+        seq = self._send(handle, op, *args)
+        deadline = time.monotonic() + (self.timeout_s if timeout is None
+                                       else timeout)
+        return self._collect(handle, seq, deadline)
+
+    def wedge(self, index: int, seconds: float) -> None:
+        """Test hook: make one replica unresponsive for ``seconds``."""
+        self._send(self._handles[index], "wedge", float(seconds))
+
+    def pid(self, index: int) -> Optional[int]:
+        return self._handles[index].pid
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, images: np.ndarray,
+                num_samples: Optional[int] = None) -> MCPrediction:
+        """One fused batch, sharded across the pool, byte-reassembled.
+
+        Returns exactly what single-process serving would: the
+        reassembled ``(T, rows, K)`` posterior is bit-identical to
+        ``deployment.predict`` / ``kernel.predict`` on the same fused
+        rows, whichever replicas served it and whether any of them died
+        along the way.
+        """
+        if num_samples is None:
+            num_samples = self.num_samples
+        num_samples = int(num_samples)
+        rows = int(images.shape[0])
+        self.batches += 1
+        healthy = [h for h in self._handles if h.alive]
+        if not self._running or not healthy:
+            self.fallbacks += 1
+            self.last_route = []
+            return self._predict_inline(images, num_samples)
+        shards = plan_shards(self.axis, rows, num_samples,
+                             [h.index for h in healthy])
+        self.last_route = shards
+        by_index = {h.index: h for h in self._handles}
+
+        # Fan out: one shard per routed replica, all in flight at once.
+        inflight, failed = [], []
+        for shard in shards:
+            handle = by_index[shard.replica]
+            sent_at = time.monotonic()
+            try:
+                seq = self._send(handle, "predict",
+                                 self._payload(shard, images), num_samples,
+                                 shard.start, shard.stop, rows)
+            except ReplicaError:
+                self._retire(handle)
+                failed.append(shard)
+                continue
+            self.dispatches += 1
+            inflight.append((shard, handle, seq, sent_at))
+
+        # Collect; a dead/wedged replica fails only its own shard.
+        parts: Dict[Tuple[int, int], np.ndarray] = {}
+        for shard, handle, seq, sent_at in inflight:
+            try:
+                result = self._collect(handle, seq,
+                                       sent_at + self.timeout_s)
+            except ReplicaError:
+                self._retire(handle)
+                failed.append(shard)
+                continue
+            self._account(handle, shard, time.monotonic() - sent_at)
+            parts[(shard.start, shard.stop)] = result
+
+        for shard in failed:
+            parts[(shard.start, shard.stop)] = self._redispatch(
+                shard, images, num_samples, rows)
+        return self._assemble(parts, rows, num_samples)
+
+    # -- helpers -------------------------------------------------------
+    def _payload(self, shard: Shard, images: np.ndarray) -> np.ndarray:
+        # Pass-axis shards need the full fused rows (every pass sees
+        # every row); row-axis shards carry only their slice.
+        if shard.axis == "rows":
+            return images[shard.start:shard.stop]
+        return images
+
+    def _account(self, handle: _ReplicaHandle, shard: Shard,
+                 elapsed: float) -> None:
+        handle.shards += 1
+        handle.units += shard.units
+        handle.latency_last_s = elapsed
+        handle.latency_total_s += elapsed
+
+    def _redispatch(self, shard: Shard, images: np.ndarray,
+                    num_samples: int, rows: int) -> np.ndarray:
+        """Retry a failed shard on healthy replicas, then inline.
+
+        Each surviving replica is tried at most once (a shard that
+        kills every worker is a deterministic fault, not bad luck); the
+        parent's inline fallback is the floor that guarantees no caller
+        future is ever dropped.
+        """
+        for handle in [h for h in self._handles
+                       if h.alive and h.index != shard.replica]:
+            self.redispatches += 1
+            sent_at = time.monotonic()
+            try:
+                seq = self._send(handle, "predict",
+                                 self._payload(shard, images), num_samples,
+                                 shard.start, shard.stop, rows)
+                result = self._collect(handle, seq,
+                                       sent_at + self.timeout_s)
+            except ReplicaError:
+                self._retire(handle)
+                continue
+            self._account(handle, shard, time.monotonic() - sent_at)
+            return result
+        self.fallbacks += 1
+        return self._compute_shard(shard, images, num_samples, rows)
+
+    def _compute_shard(self, shard: Shard, images: np.ndarray,
+                       num_samples: int, rows: int) -> np.ndarray:
+        if self.axis == "rows":
+            return self._kernel.predict(
+                images[shard.start:shard.stop], num_samples=num_samples,
+                total_rows=rows, row_start=shard.start).probs
+        return self.deployment.predict_span(
+            self._model, images, num_samples=num_samples,
+            pass_start=shard.start, pass_stop=shard.stop)
+
+    def _predict_inline(self, images: np.ndarray,
+                        num_samples: int) -> MCPrediction:
+        if self._kernel is not None:
+            return self._kernel.predict(images, num_samples=num_samples)
+        return self.deployment.predict(self._model, images,
+                                       num_samples=num_samples)
+
+    def _assemble(self, parts: Dict[Tuple[int, int], np.ndarray],
+                  rows: int, num_samples: int) -> MCPrediction:
+        first = next(iter(parts.values()))
+        probs = np.empty((num_samples, rows, first.shape[-1]),
+                         dtype=first.dtype)
+        for (start, stop), part in parts.items():
+            if self.axis == "rows":
+                probs[:, start:stop] = part
+            else:
+                probs[start:stop] = part
+        return MCPrediction(probs=probs)
+
+
+__all__ = [
+    "AXES",
+    "ReplicaError",
+    "ReplicaPool",
+    "Shard",
+    "plan_shards",
+    "share_arrays",
+    "split_spans",
+]

@@ -91,8 +91,10 @@ class MicroBatcher:
 
     Requests may be submitted before :meth:`start`; they queue and are
     served once the drain task runs.  Counters (``requests``, ``rows``,
-    ``batches``, ``batched_rows``, ``rejected``) accumulate for the
-    batcher's lifetime.
+    ``batches``, ``batched_rows``, ``rejected``, ``rejected_stopped``)
+    accumulate for the batcher's lifetime; backpressure bounces and
+    stopped-batcher bounces are counted separately so drain-time shed
+    load stays visible.
     """
 
     def __init__(self, predict_fn: Callable[[np.ndarray], Any], *,
@@ -125,6 +127,7 @@ class MicroBatcher:
         self.batches = 0
         self.batched_rows = 0
         self.rejected = 0
+        self.rejected_stopped = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +161,10 @@ class MicroBatcher:
             RuntimeError: the batcher has been stopped.
         """
         if self._stopping:
+            # Shed load is shed load: requests bounced during a drain
+            # count too (``rejected_stopped``), or stats would
+            # undercount exactly when operators watch a restart.
+            self.rejected_stopped += 1
             raise RuntimeError("batcher is stopped")
         rows = int(payload.shape[0])
         if rows <= 0:

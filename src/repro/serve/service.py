@@ -13,7 +13,10 @@ Bit-identity contract (``tests/test_serve_equivalence.py``): a
 response equals the corresponding rows of a direct
 :func:`repro.bayes.mc.mc_predict` call on the fused batch under the
 deployment's reseed contract — micro-batching changes *when* rows are
-computed, never *what* they are.
+computed, never *what* they are.  With ``replicas=N`` the fused batch
+is additionally sharded across a forked worker pool
+(:mod:`repro.serve.replicas`); the contract is unchanged
+(``tests/test_serve_replicas.py``).
 
 The service tracks operational counters (requests, batches, coalesce
 ratio, queue depth, rejected admissions, p50/p99 request latency) and
@@ -101,7 +104,18 @@ class UncertaintyService:
         kernel: optional pre-compiled
             :class:`~repro.hw.compile.CompiledKernel` for the fixed
             backend (e.g. loaded from a ``repro compile`` artifact
-            directory); compiled on the fly when omitted.
+            directory); compiled on the fly when omitted.  A supplied
+            kernel must match the deployment by *fingerprint*
+            (:meth:`Deployment.fingerprint`) — independently loaded
+            artifacts of the same run pair up; foreign kernels are
+            rejected.
+        replicas: fork this many worker processes behind the batcher
+            (:class:`~repro.serve.replicas.ReplicaPool`) and shard
+            every fused batch across them.  ``0`` (default) serves
+            inline in this process.  Responses stay byte-identical to
+            inline serving either way.
+        replica_timeout_s: per-shard round-trip bound before a replica
+            is declared wedged and its shard re-dispatched.
 
     Use as an async context manager::
 
@@ -116,37 +130,64 @@ class UncertaintyService:
                  num_samples: Optional[int] = None,
                  engine: Optional[str] = None,
                  backend: str = "float",
-                 kernel=None) -> None:
+                 kernel=None,
+                 replicas: int = 0,
+                 replica_timeout_s: float = 30.0) -> None:
         self.deployment = deployment
         if num_samples is None:
             num_samples = deployment.spec.mc_samples
         check_positive_int(num_samples, "num_samples")
-        if engine is None:
-            engine = deployment.spec.engine
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"choose from {ENGINES}")
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {BACKENDS}")
+        if backend == "fixed":
+            # The fixed path runs the integer kernel; a float MC engine
+            # name would be decorative and has misled stats consumers.
+            if engine is not None:
+                raise ValueError(
+                    "engine is only meaningful with backend='float'")
+        else:
+            if engine is None:
+                engine = deployment.spec.engine
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}; "
+                                 f"choose from {ENGINES}")
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
         self.num_samples = int(num_samples)
         self.engine = engine
         self.backend = backend
+        self.replicas = int(replicas)
+        self.replica_timeout_s = float(replica_timeout_s)
+        self._pool = None
         self._model = None
         self._kernel = None
         if backend == "fixed":
             if kernel is None:
                 from repro.hw.compile import compile_deployment
                 kernel = compile_deployment(deployment)
-            elif kernel.deployment is not deployment:
+            elif (kernel.deployment is not deployment
+                  and kernel.deployment.fingerprint()
+                  != deployment.fingerprint()):
                 raise ValueError(
-                    "kernel was compiled from a different deployment")
+                    "kernel was compiled from a different deployment "
+                    "(fingerprint mismatch)")
             self._kernel = kernel
         else:
             if kernel is not None:
                 raise ValueError(
                     "kernel is only meaningful with backend='fixed'")
             self._model = deployment.instantiate()
+        if self.replicas:
+            from repro.serve.replicas import ReplicaPool
+            if not ReplicaPool.available():
+                raise ValueError(
+                    "replicas > 0 requires the 'fork' start method")
+            self._pool = ReplicaPool(
+                deployment, replicas=self.replicas,
+                num_samples=self.num_samples, backend=backend,
+                model=self._model, kernel=self._kernel,
+                timeout_s=self.replica_timeout_s)
         self._batcher = MicroBatcher(
             self._predict_fused,
             max_batch_rows=max_batch_rows,
@@ -160,6 +201,9 @@ class UncertaintyService:
     # ------------------------------------------------------------------
     def _predict_fused(self, images: np.ndarray) -> MCPrediction:
         """One fused pass under the deployment's determinism contract."""
+        if self._pool is not None and self._pool.running:
+            return self._pool.predict(images,
+                                      num_samples=self.num_samples)
         if self._kernel is not None:
             return self._kernel.predict(images,
                                         num_samples=self.num_samples)
@@ -199,12 +243,22 @@ class UncertaintyService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Start the micro-batching drain task."""
+        """Fork the replica pool (if any) and start the drain task."""
+        if self._pool is not None:
+            self._pool.start()
         await self._batcher.start()
 
     async def stop(self) -> None:
-        """Flush queued requests and stop the drain task."""
+        """Flush queued requests, stop the drain task, drain the pool.
+
+        Order matters: the batcher flush still routes fused batches
+        through the replica pool, so the pool is reaped only after
+        every pending future has resolved — graceful drain, no request
+        abandoned.
+        """
         await self._batcher.stop()
+        if self._pool is not None:
+            self._pool.stop()
 
     async def __aenter__(self) -> "UncertaintyService":
         await self.start()
@@ -222,7 +276,12 @@ class UncertaintyService:
         ``coalesce_ratio`` is requests per fused batch (1.0 means no
         coalescing happened, higher is better amortization);
         ``latency_p50_ms``/``latency_p99_ms`` are percentiles over the
-        last :data:`LATENCY_WINDOW` completed requests.
+        last :data:`LATENCY_WINDOW` completed requests.  ``rejected``
+        counts backpressure bounces, ``rejected_stopped`` requests
+        bounced by a stopped/draining batcher.  ``engine`` is ``None``
+        on the fixed backend (no float MC engine runs there);
+        ``replicas`` is the pool's counter record (or ``None`` when
+        serving inline), including per-replica health and latency.
         """
         batcher = self._batcher
         latencies = np.asarray(self._latencies, dtype=np.float64)
@@ -233,6 +292,7 @@ class UncertaintyService:
             "coalesce_ratio": batcher.coalesce_ratio,
             "queue_depth_rows": batcher.queue_depth_rows,
             "rejected": batcher.rejected,
+            "rejected_stopped": batcher.rejected_stopped,
             "latency_p50_ms": (float(np.percentile(latencies, 50)) * 1e3
                                if latencies.size else 0.0),
             "latency_p99_ms": (float(np.percentile(latencies, 99)) * 1e3
@@ -240,6 +300,8 @@ class UncertaintyService:
             "num_samples": self.num_samples,
             "engine": self.engine,
             "backend": self.backend,
+            "replicas": (self._pool.stats() if self._pool is not None
+                         else None),
         }
 
 

@@ -68,11 +68,57 @@ class TestValidation:
         with pytest.raises(ValueError, match="different deployment"):
             UncertaintyService(other, backend="fixed", kernel=kernel)
 
+    def test_engine_with_fixed_backend_rejected(self, deployment, kernel):
+        # No float MC engine runs on the fixed path; accepting the
+        # argument silently would misconfigure without effect.
+        with pytest.raises(ValueError, match="engine"):
+            UncertaintyService(deployment, backend="fixed",
+                               kernel=kernel, engine="batched")
+
     def test_stats_reports_backend(self, deployment, kernel):
         fixed = UncertaintyService(deployment, backend="fixed",
                                    kernel=kernel)
         assert fixed.stats()["backend"] == "fixed"
         assert UncertaintyService(deployment).stats()["backend"] == "float"
+
+    def test_fixed_backend_reports_no_engine(self, deployment, kernel):
+        # Regression: stats()/the serve banner used to echo the float
+        # engine name even though the integer kernel never uses it.
+        fixed = UncertaintyService(deployment, backend="fixed",
+                                   kernel=kernel)
+        assert fixed.stats()["engine"] is None
+        assert fixed.engine is None
+        floating = UncertaintyService(deployment)
+        assert floating.stats()["engine"] == deployment.spec.engine
+
+
+class TestKernelPairing:
+    def test_separately_loaded_artifacts_pair_by_fingerprint(
+            self, deployment, kernel, tmp_path):
+        # Regression: the service used to require the kernel to hold
+        # the *same object* as the deployment it serves, so pairing a
+        # `repro compile` artifact with an independently re-loaded
+        # deployment of the same run failed spuriously.  Equality is by
+        # Deployment.fingerprint().
+        from repro.api import ArtifactStore
+        from repro.hw.compile import load_kernel, save_kernel
+
+        path = str(tmp_path / "deploy")
+        deployment.save(path)
+        save_kernel(kernel, ArtifactStore(path))
+        reloaded = Deployment.load(path)
+        rekernel = load_kernel(ArtifactStore(path))
+        assert rekernel.deployment is not reloaded
+        assert rekernel.deployment.fingerprint() == reloaded.fingerprint()
+
+        images = make_images(3, seed=7)
+        service = UncertaintyService(reloaded, backend="fixed",
+                                     kernel=rekernel)
+        posterior = asyncio.run(serve_one(service, images))
+        direct = kernel.predict(images,
+                                num_samples=deployment.spec.mc_samples)
+        assert posterior.mean_probs.tobytes() \
+            == direct.mean_probs.tobytes()
 
 
 class TestFixedResponses:

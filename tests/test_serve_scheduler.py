@@ -277,6 +277,26 @@ class TestLifecycle:
 
         asyncio.run(main())
 
+    def test_stopped_rejections_are_counted(self):
+        # Regression: bounces during a drain/restart used to leave
+        # every counter untouched, so stats() undercounted shed load
+        # exactly when operators watch it.  They land in a *distinct*
+        # counter — a backpressure bounce (retry soon) and a stopped
+        # bounce (find another instance) are different operator signals.
+        async def main():
+            batcher = MicroBatcher(RecordingPredict())
+            async with batcher:
+                pass
+            for _ in range(3):
+                with pytest.raises(RuntimeError, match="stopped"):
+                    await batcher.submit(tagged_request(0, 1))
+            return batcher
+
+        batcher = asyncio.run(main())
+        assert batcher.rejected_stopped == 3
+        assert batcher.rejected == 0
+        assert batcher.requests == 0
+
     def test_slice_failure_rejects_batch_not_batcher(self):
         def bad_slice(result, start, stop):
             if int(result[0, 0]) == 0:  # only the first request's batch
