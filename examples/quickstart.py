@@ -31,6 +31,7 @@ from repro.api import (
     SpecifyStage,
     TrainSpec,
 )
+from repro.analysis import load_certificate
 from repro.hw.compile import compile_and_report
 from repro.search.space import config_to_string
 from repro.serve import Deployment, UncertaintyService
@@ -159,11 +160,21 @@ def main() -> None:
         # generated FPGA datapath), measure float-vs-fixed fidelity on
         # the experiment's own validation split, and serve one request
         # through the fixed backend.  `repro compile --deployment DIR`
-        # is the CLI spelling of the same step.
+        # is the CLI spelling of the same step.  Every compile also
+        # persists an OverflowCertificate: a static proof (worst-case
+        # interval analysis over the netlist, for *any* representable
+        # input — not just the calibration rows) that the int64
+        # accumulators can never wrap.  `repro verify-kernel` re-checks
+        # it from the artifact bytes alone.
+        store = ArtifactStore(deploy_dir)
         kernel, report = compile_and_report(
-            deployment, ArtifactStore(deploy_dir), fidelity_rows=60)
+            deployment, store, fidelity_rows=60)
+        certificate = load_certificate(store)
         print(f"\nPhase 6  compiled {len(kernel.plans)} layers "
               f"to fixed point")
+        print(f"Phase 6  overflow certificate: {certificate.verdict} "
+              f"(min int64 headroom "
+              f"{certificate.min_headroom_bits} bits)")
         print(report.render())
         asyncio.run(fixed_backend_round_trip(deployment, kernel))
 

@@ -1,0 +1,441 @@
+"""Static overflow certificates for compiled fixed-point kernels.
+
+:func:`certify_kernel` abstract-interprets a
+:class:`~repro.hw.compile.kernel.CompiledKernel`'s layer plans and
+proves — for **any representable input**, not just the calibration
+split — that every widened ``int64`` accumulator stays inside the
+machine word.  Each integer op starts by saturating its input into its
+own activation format (``fmt_in.to_fixed``), so the per-layer analysis
+starts from the full code range of that format and propagates exact
+worst-case intervals through the op's arithmetic:
+
+* conv / linear: the im2col GEMM's reduction uses the *actual* weight
+  codes — per output row, sign-aware sums bound the final accumulator
+  and ``sum |w| * max|x|`` bounds every partial sum in every reduction
+  order (plus the bias add at the accumulator's fraction);
+* batch-norm: the folded per-channel ``scale * x + shift`` affine;
+* LeakyReLU: the ``x * slope`` negative branch at accumulator scale;
+* pooling: ``k**2``-term sums (average) or an order-free max;
+* dropout: the per-pass quantized mask product at the mask format's
+  extremes (sound even for signed Gaussian-noise masks);
+* ``requantize``'s rescale, including the exact left-shift of a
+  negative shift — the one place a layer-safe accumulator could still
+  wrap.
+
+The result is an :class:`OverflowCertificate`: per-layer bound versus
+int64 headroom, a ``saturation-only`` / ``wrap-possible`` verdict, and
+the tightest safe accumulator width for the HLS emitter's ``accum_t``
+typedefs.  ``repro compile`` persists one next to every kernel;
+``repro verify-kernel`` re-derives it and cross-checks the stored copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.intervals import (
+    INT64_MAX,
+    Interval,
+    affine_bounds,
+    format_interval,
+    required_bits,
+    shifted_magnitude,
+)
+from repro.hw.fixed_point import FixedPointFormat
+from repro.hw.netlist import (
+    KIND_ACT,
+    KIND_BN,
+    KIND_CONV,
+    KIND_DROPOUT,
+    KIND_FLATTEN,
+    KIND_GPOOL,
+    KIND_IDENTITY,
+    KIND_LINEAR,
+    KIND_POOL,
+)
+
+#: Version stamped into every persisted certificate.
+CERTIFICATE_VERSION = 1
+
+#: JSON artifact name of the persisted certificate.
+CERTIFICATE_ARTIFACT = "overflow_certificate"
+
+#: Verdict of a kernel whose accumulators provably fit int64: the only
+#: information loss anywhere is the *intended* output-format saturation.
+VERDICT_SATURATION_ONLY = "saturation-only"
+
+#: Verdict of a kernel with at least one accumulator that can wrap.
+VERDICT_WRAP_POSSIBLE = "wrap-possible"
+
+
+class CertificationError(ValueError):
+    """The certifier cannot analyze a kernel (unknown op, bad record)."""
+
+
+@dataclass
+class LayerCertificate:
+    """Worst-case accumulator bounds of one compiled layer.
+
+    Attributes:
+        name / kind: traced layer identity.
+        accum_lo / accum_hi: exact interval of the completed
+            accumulation (``None`` for layers with no integer
+            arithmetic — flatten/identity pass the float carrier).
+        magnitude_bound: bound on ``|acc|`` valid for every partial sum
+            in every reduction order.
+        post_shift_bound: bound after ``requantize``'s rescale (the
+            left-shift hazard); equals ``magnitude_bound`` when the
+            layer does not requantize.
+        accum_fraction: fraction bits the accumulator carries.
+        required_accum_bits: tightest two's-complement width that holds
+            the bound — the safe ``accum_t`` width for the HLS emitter.
+        headroom_bits: ``63 - magnitude_bound.bit_length()`` (negative
+            means the accumulator can wrap int64).
+        wrap_possible: whether any intermediate can exceed int64.
+    """
+
+    name: str
+    kind: str
+    accum_lo: Optional[int] = None
+    accum_hi: Optional[int] = None
+    magnitude_bound: Optional[int] = None
+    post_shift_bound: Optional[int] = None
+    accum_fraction: Optional[int] = None
+    required_accum_bits: Optional[int] = None
+    headroom_bits: Optional[int] = None
+    wrap_possible: bool = False
+
+    @property
+    def arithmetic(self) -> bool:
+        """Whether the layer performs integer arithmetic at all."""
+        return self.magnitude_bound is not None
+
+    def safe_accum_format(self) -> Optional[FixedPointFormat]:
+        """Tightest safe accumulator format (``accum_t``) or ``None``."""
+        if not self.arithmetic or self.wrap_possible:
+            return None
+        fraction = self.accum_fraction or 0
+        bits = max(self.required_accum_bits or 1, fraction + 1)
+        return FixedPointFormat(total_bits=bits, fraction_bits=fraction)
+
+    def to_dict(self) -> dict:
+        """JSON view.  Bounds serialize as decimal strings: they can
+        exceed 2**53 and JSON numbers stop round-tripping there."""
+        def enc(value):
+            return None if value is None else str(value)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "accum_lo": enc(self.accum_lo),
+            "accum_hi": enc(self.accum_hi),
+            "magnitude_bound": enc(self.magnitude_bound),
+            "post_shift_bound": enc(self.post_shift_bound),
+            "accum_fraction": self.accum_fraction,
+            "required_accum_bits": self.required_accum_bits,
+            "headroom_bits": self.headroom_bits,
+            "wrap_possible": self.wrap_possible,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LayerCertificate":
+        """Rebuild from a :meth:`to_dict` payload."""
+        def dec(value):
+            return None if value is None else int(value)
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            accum_lo=dec(payload.get("accum_lo")),
+            accum_hi=dec(payload.get("accum_hi")),
+            magnitude_bound=dec(payload.get("magnitude_bound")),
+            post_shift_bound=dec(payload.get("post_shift_bound")),
+            accum_fraction=payload.get("accum_fraction"),
+            required_accum_bits=payload.get("required_accum_bits"),
+            headroom_bits=payload.get("headroom_bits"),
+            wrap_possible=bool(payload.get("wrap_possible", False)),
+        )
+
+
+@dataclass
+class OverflowCertificate:
+    """Static no-wrap proof (or refutation) for one compiled kernel.
+
+    Attributes:
+        kernel_fingerprint: content hash of the certified kernel record
+            (plans + integer tensors) — a stored certificate only
+            vouches for the kernel bytes it was derived from.
+        layers: per-layer bounds, in execution order.
+    """
+
+    kernel_fingerprint: str
+    layers: List[LayerCertificate] = field(default_factory=list)
+
+    @property
+    def wrap_possible(self) -> bool:
+        """Whether any layer's accumulator can wrap int64."""
+        return any(layer.wrap_possible for layer in self.layers)
+
+    @property
+    def verdict(self) -> str:
+        """``saturation-only`` or ``wrap-possible``."""
+        return (VERDICT_WRAP_POSSIBLE if self.wrap_possible
+                else VERDICT_SATURATION_ONLY)
+
+    @property
+    def min_headroom_bits(self) -> Optional[int]:
+        """Smallest per-layer int64 headroom (None: no arithmetic)."""
+        rooms = [layer.headroom_bits for layer in self.layers
+                 if layer.arithmetic]
+        return min(rooms) if rooms else None
+
+    def accum_formats(self) -> Dict[str, FixedPointFormat]:
+        """Per-layer tightest-safe ``accum_t`` formats, by layer name.
+
+        The record :func:`repro.hw.codegen.emitter.emit_hls_project`
+        consumes through its ``certificate=`` argument, so the emitted
+        accumulator typedefs are exactly as wide as the proof requires.
+        """
+        formats = {}
+        for layer in self.layers:
+            fmt = layer.safe_accum_format()
+            if fmt is not None:
+                formats[layer.name] = fmt
+        return formats
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (inverted by :meth:`from_dict`)."""
+        return {
+            "certificate_version": CERTIFICATE_VERSION,
+            "kernel_fingerprint": self.kernel_fingerprint,
+            "verdict": self.verdict,
+            "min_headroom_bits": self.min_headroom_bits,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OverflowCertificate":
+        """Rebuild from a :meth:`to_dict` payload."""
+        if (not isinstance(payload, dict)
+                or payload.get("certificate_version") != CERTIFICATE_VERSION):
+            raise CertificationError(
+                "unsupported overflow-certificate record")
+        return cls(
+            kernel_fingerprint=str(payload["kernel_fingerprint"]),
+            layers=[LayerCertificate.from_dict(entry)
+                    for entry in payload.get("layers", [])],
+        )
+
+    def render(self) -> str:
+        """Human-readable certificate table (CLI output)."""
+        lines = [f"Overflow certificate: {self.verdict}"]
+        if self.min_headroom_bits is not None:
+            lines[0] += (f" (min int64 headroom "
+                         f"{self.min_headroom_bits} bits)")
+        for layer in self.layers:
+            if not layer.arithmetic:
+                lines.append(f"  {layer.name:<16} {layer.kind:<14} "
+                             f"no integer arithmetic")
+                continue
+            fmt = layer.safe_accum_format()
+            accum = f"  accum_t {fmt}" if fmt is not None else ""
+            state = ("WRAP-POSSIBLE" if layer.wrap_possible
+                     else f"headroom {layer.headroom_bits:>2} bits")
+            lines.append(
+                f"  {layer.name:<16} {layer.kind:<14} "
+                f"|acc| <= 2^{(layer.magnitude_bound).bit_length()} "
+                f"{state}{accum}")
+        return "\n".join(lines)
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Content hash of a kernel's plans and integer tensors.
+
+    Covers everything the analysis reads — formats, attrs, shapes and
+    every tensor byte — so a certificate can be matched to the exact
+    kernel record it certifies (object identity is meaningless across
+    save/load).
+    """
+    digest = hashlib.sha256()
+    for plan in kernel.plans:
+        digest.update(json.dumps(plan.to_dict(),
+                                 sort_keys=True).encode("utf-8"))
+        for key in sorted(plan.tensors):
+            array = np.ascontiguousarray(plan.tensors[key])
+            digest.update(key.encode("utf-8"))
+            digest.update(str(array.dtype).encode("utf-8"))
+            digest.update(str(array.shape).encode("utf-8"))
+            digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def certify_kernel(kernel) -> OverflowCertificate:
+    """Derive the overflow certificate of ``kernel``.
+
+    Args:
+        kernel: a :class:`~repro.hw.compile.kernel.CompiledKernel` (any
+            object with a ``plans`` list of
+            :class:`~repro.hw.compile.kernel.LayerPlan` works).
+
+    Returns:
+        The :class:`OverflowCertificate`; check :attr:`~
+        OverflowCertificate.verdict` before trusting the kernel on
+        uncalibrated inputs.
+
+    Raises:
+        CertificationError: on a layer kind with no analysis rule.
+    """
+    layers = [certify_plan(plan) for plan in kernel.plans]
+    return OverflowCertificate(
+        kernel_fingerprint=kernel_fingerprint(kernel), layers=layers)
+
+
+def certify_plan(plan) -> LayerCertificate:
+    """Worst-case analysis of a single layer plan."""
+    kind = plan.kind
+    if kind in (KIND_FLATTEN, KIND_IDENTITY):
+        # Pure data movement on the float carrier: no integer op runs.
+        return LayerCertificate(name=plan.name, kind=kind)
+
+    x = format_interval(plan.in_format)
+    out_fraction = plan.out_format.fraction_bits
+    shift = 0
+    if kind in (KIND_CONV, KIND_LINEAR):
+        acc, mag = affine_bounds(plan.tensors["weight"], x,
+                                 plan.tensors.get("bias"))
+        shift = plan.accum_fraction - out_fraction
+    elif kind == KIND_BN:
+        acc, mag = affine_bounds(plan.tensors["scale"].reshape(-1, 1), x,
+                                 plan.tensors["shift"])
+        shift = plan.accum_fraction - out_fraction
+    elif kind == KIND_ACT:
+        slope = plan.tensors.get("slope")
+        if slope is None:
+            # ReLU: max(codes, 0), then output saturation only.
+            acc, mag = Interval(0, x.hi), x.hi
+        else:
+            # LeakyReLU: the negative branch scales by the slope code
+            # at accumulator fraction; the positive branch is bounded
+            # by the input range itself.
+            negative = x.scale(int(slope))
+            acc = negative.union(x)
+            mag = max(negative.magnitude, x.magnitude)
+            shift = plan.accum_fraction - out_fraction
+    elif kind == KIND_POOL:
+        if bool(plan.attrs.get("average", False)):
+            terms = int(plan.attrs["kernel_size"]) ** 2
+            acc, mag = x.scale(terms), x.magnitude * terms
+        else:
+            # Order-free integer max; padding injects the format's most
+            # negative code, which the input interval already contains.
+            acc, mag = x, x.magnitude
+    elif kind == KIND_GPOOL:
+        terms = int(np.prod(plan.in_shape[1:]))
+        acc, mag = x.scale(terms), x.magnitude * terms
+    elif kind == KIND_DROPOUT:
+        # Per-pass quantized masks at the mask format's extremes —
+        # sound for every dropout family, including signed Gaussian
+        # noise tails that quantization clips into the format range.
+        mask = format_interval(plan.mask_format)
+        acc = x.mul(mask)
+        mag = x.magnitude * mask.magnitude
+        shift = plan.accum_fraction - out_fraction
+    else:
+        raise CertificationError(
+            f"no range-analysis rule for layer kind {kind!r} "
+            f"(layer {plan.name!r})")
+
+    post = shifted_magnitude(mag, shift) if shift else mag
+    wrap = mag > INT64_MAX or post > INT64_MAX
+    return LayerCertificate(
+        name=plan.name,
+        kind=kind,
+        accum_lo=acc.lo,
+        accum_hi=acc.hi,
+        magnitude_bound=mag,
+        post_shift_bound=post,
+        accum_fraction=plan.accum_fraction,
+        required_accum_bits=required_bits(max(mag, post)),
+        headroom_bits=63 - mag.bit_length(),
+        wrap_possible=wrap,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence + standalone verification
+# ----------------------------------------------------------------------
+def save_certificate(certificate: OverflowCertificate, store) -> None:
+    """Persist ``certificate`` as the :data:`CERTIFICATE_ARTIFACT`."""
+    store.save_json(CERTIFICATE_ARTIFACT, certificate.to_dict())
+
+
+def load_certificate(store) -> OverflowCertificate:
+    """Load the persisted certificate from ``store``."""
+    return OverflowCertificate.from_dict(
+        store.load_json(CERTIFICATE_ARTIFACT))
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of :func:`verify_kernel`.
+
+    Attributes:
+        certificate: the freshly re-derived certificate.
+        stored: the persisted certificate, when one exists.
+        stale: True when a stored certificate no longer matches the
+            kernel bytes or disagrees on the verdict.
+    """
+
+    certificate: OverflowCertificate
+    stored: Optional[OverflowCertificate] = None
+    stale: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Accumulators provably cannot wrap and no stored lie exists."""
+        return not self.certificate.wrap_possible and not self.stale
+
+
+def verify_kernel(store, deployment=None) -> VerificationResult:
+    """Re-derive a saved kernel's certificate and cross-check the store.
+
+    Loads the kernel back from ``store`` (the directory ``repro
+    compile`` wrote), re-runs the range analysis from the persisted
+    bytes, and — when the store also holds a certificate — checks that
+    it was derived from the same kernel fingerprint and reaches the
+    same verdict.  This is the standalone ``repro verify-kernel`` gate:
+    it trusts nothing but the artifact bytes.
+    """
+    from repro.hw.compile.compiler import load_kernel
+
+    kernel = load_kernel(store, deployment)
+    certificate = certify_kernel(kernel)
+    stored = None
+    stale = False
+    if store.has(CERTIFICATE_ARTIFACT):
+        stored = load_certificate(store)
+        stale = (stored.kernel_fingerprint != certificate.kernel_fingerprint
+                 or stored.verdict != certificate.verdict)
+    return VerificationResult(certificate=certificate, stored=stored,
+                              stale=stale)
+
+
+__all__ = [
+    "CERTIFICATE_ARTIFACT",
+    "CERTIFICATE_VERSION",
+    "CertificationError",
+    "LayerCertificate",
+    "OverflowCertificate",
+    "VERDICT_SATURATION_ONLY",
+    "VERDICT_WRAP_POSSIBLE",
+    "VerificationResult",
+    "certify_kernel",
+    "certify_plan",
+    "kernel_fingerprint",
+    "load_certificate",
+    "save_certificate",
+    "verify_kernel",
+]

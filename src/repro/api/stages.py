@@ -344,7 +344,8 @@ class StoreTrainCheckpointer:
             "stochastic_state": checkpoint.stochastic_state,
         }
         arrays = {self._META: np.frombuffer(
-            json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
+            json.dumps(meta, sort_keys=True).encode("utf-8"),
+            dtype=np.uint8)}
         for key, value in checkpoint.model_state.items():
             arrays[self._MODEL + key] = value
         for key, value in checkpoint.optimizer_state.items():

@@ -14,7 +14,13 @@ Built on the :mod:`repro.api` experiment layer.  Five commands:
   ``--backend fixed`` serves through the compiled integer kernel;
   ``--replicas N`` shards fused batches across N forked workers);
 * ``compile`` — lower a deployment to the executable fixed-point
-  kernel and print its measured float-vs-fixed fidelity report;
+  kernel, statically certify its accumulators against int64 overflow,
+  and print its measured float-vs-fixed fidelity report;
+* ``verify-kernel`` — re-derive a compiled kernel's overflow
+  certificate from the persisted artifact bytes and cross-check the
+  stored copy (exit 1 on wrap-possible or a stale certificate);
+* ``lint`` — run the determinism/fork-safety linter over source trees
+  (exit 1 on findings);
 * ``search`` — ad-hoc four-phase search from flat flags;
 * ``generate`` — emit the HLS project for a configuration;
 * ``report`` — print the csynth-style report of a configuration.
@@ -25,6 +31,8 @@ Examples::
         --export-deployment deploy/
     python -m repro.cli serve --deployment deploy/ --smoke
     python -m repro.cli compile --deployment deploy/
+    python -m repro.cli verify-kernel --deployment deploy/
+    python -m repro.cli lint src/
     python -m repro.cli serve --deployment deploy/ --backend fixed
     python -m repro.cli serve --deployment deploy/ --replicas 4
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
@@ -170,8 +178,37 @@ def build_parser() -> argparse.ArgumentParser:
                                 "deployment spec's mc_samples)")
     p_compile.add_argument("--force", action="store_true",
                            help="recompile even if artifacts exist")
+    p_compile.add_argument("--allow-unsafe", action="store_true",
+                           help="persist the kernel even when the overflow "
+                                "certificate is wrap-possible")
     p_compile.add_argument("--json", action="store_true", dest="as_json",
                            help="print the fidelity report as JSON")
+
+    p_verify = sub.add_parser(
+        "verify-kernel",
+        help="re-derive and cross-check a compiled kernel's overflow "
+             "certificate")
+    vsource = p_verify.add_mutually_exclusive_group(required=True)
+    vsource.add_argument("--deployment", metavar="DIR",
+                         help="deployment directory holding `repro "
+                              "compile` artifacts")
+    vsource.add_argument("--run-dir", metavar="DIR",
+                         help="finished run directory (checks "
+                              "<run-dir>/compiled)")
+    p_verify.add_argument("--aim", default=None,
+                          help="searched aim of the run (with --run-dir)")
+    p_verify.add_argument("--out", default=None, metavar="DIR",
+                          help="artifact directory to check (default: the "
+                               "deployment directory, or <run-dir>/compiled)")
+    p_verify.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the certificate as JSON")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism/fork-safety linter")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the findings as JSON")
 
     p_search = sub.add_parser(
         "search", help="run the four-phase dropout search")
@@ -419,6 +456,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
     else:
         deployment = Deployment.from_run(args.run_dir, aim=args.aim)
         out = args.out or os.path.join(args.run_dir, "compiled")
+    from repro.analysis.certify import load_certificate
+
     store = ArtifactStore(out)
     kernel, report = compile_and_report(
         deployment, store,
@@ -426,9 +465,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
            else {"calibration_rows": args.calibration_rows}),
         fidelity_rows=args.fidelity_rows,
         num_samples=args.samples,
-        force=args.force)
+        force=args.force,
+        allow_unsafe=args.allow_unsafe)
+    certificate = load_certificate(store)
     if args.as_json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        payload = report.to_dict()
+        payload["overflow_certificate"] = certificate.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"compiled: model={deployment.spec.model} "
           f"config={config_to_string(deployment.config)} "
@@ -436,8 +479,56 @@ def cmd_compile(args: argparse.Namespace) -> int:
           f"default=<{deployment.fixed_point.total_bits},"
           f"{deployment.fixed_point.fraction_bits}>")
     print(f"artifacts: {store.root}")
+    print(certificate.render())
     print(report.render())
     return 0
+
+
+def cmd_verify_kernel(args: argparse.Namespace) -> int:
+    # Lazy imports for the same reason as cmd_compile.
+    import os
+
+    from repro.analysis.certify import verify_kernel
+    from repro.api import ArtifactStore
+    from repro.serve import Deployment
+
+    if args.deployment:
+        deployment = Deployment.load(args.deployment)
+        out = args.out or args.deployment
+    else:
+        deployment = Deployment.from_run(args.run_dir, aim=args.aim)
+        out = args.out or os.path.join(args.run_dir, "compiled")
+    result = verify_kernel(ArtifactStore(out), deployment)
+    if args.as_json:
+        payload = result.certificate.to_dict()
+        payload["stored_certificate"] = (result.stored is not None)
+        payload["stale"] = result.stale
+        payload["ok"] = result.ok
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    print(result.certificate.render())
+    if result.stored is None:
+        print("stored certificate: none (derived fresh from the kernel)")
+    elif result.stale:
+        print("stored certificate: STALE — it does not match the kernel "
+              "bytes on disk; recompile with `repro compile --force`")
+    else:
+        print(f"stored certificate: matches kernel fingerprint "
+              f"{result.certificate.kernel_fingerprint[:12]}…")
+    print(f"verification: {'OK' if result.ok else 'FAILED'}")
+    return 0 if result.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_paths, render_findings
+
+    findings = lint_paths(args.paths or ["src"])
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2,
+                         sort_keys=True))
+    else:
+        print(render_findings(findings))
+    return 1 if findings else 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -462,6 +553,8 @@ _COMMANDS = {
     "run": cmd_run,
     "serve": cmd_serve,
     "compile": cmd_compile,
+    "verify-kernel": cmd_verify_kernel,
+    "lint": cmd_lint,
     "search": cmd_search,
     "generate": cmd_generate,
     "report": cmd_report,

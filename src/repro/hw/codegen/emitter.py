@@ -101,8 +101,8 @@ class HLSEmitter:
     # ------------------------------------------------------------------
     def emit(self, design: AcceleratorDesign, outdir: str, *,
              model: Optional[Module] = None,
-             formats: Optional[Mapping[str, object]] = None
-             ) -> EmittedProject:
+             formats: Optional[Mapping[str, object]] = None,
+             certificate=None) -> EmittedProject:
         """Write the complete project under ``outdir``.
 
         Args:
@@ -116,7 +116,15 @@ class HLSEmitter:
                 layer's calibrated formats instead of the uniform
                 model default, so the templates and the executable
                 kernel agree bit-for-bit on number formats.
+            certificate: optional
+                :class:`~repro.analysis.OverflowCertificate` of the
+                compiled kernel.  Its per-layer proven-safe widths
+                override the ``accum_t`` typedefs, so the emitted
+                accumulators are exactly as wide as the worst-case
+                proof requires (the calibrated ``formats`` record is
+                empirical; the certificate is a guarantee).
         """
+        accums = certificate.accum_formats() if certificate else None
         project = EmittedProject(root=outdir, project_name=self.project_name)
         fw = os.path.join(outdir, "firmware")
         os.makedirs(os.path.join(fw, "nnet_utils"), exist_ok=True)
@@ -129,7 +137,8 @@ class HLSEmitter:
                     self._render_defines(design, fmt))
         self._write(project, os.path.join(fw, "parameters.h"),
                     self._render_parameters(design, fmt,
-                                            formats=formats))
+                                            formats=formats,
+                                            accums=accums))
         for name, content in _STATIC_HEADERS.items():
             self._write(project,
                         os.path.join(fw, "nnet_utils", name), content)
@@ -188,20 +197,23 @@ class HLSEmitter:
 
     def _render_parameters(self, design: AcceleratorDesign,
                            fmt: FixedPointFormat, *,
-                           formats: Optional[Mapping[str, object]] = None
+                           formats: Optional[Mapping[str, object]] = None,
+                           accums: Optional[Mapping[str, object]] = None
                            ) -> str:
         blocks = ["#ifndef PARAMETERS_H_", "#define PARAMETERS_H_", "",
                   '#include "defines.h"', ""]
         for i, layer in enumerate(design.netlist.layers):
             resolved = formats.get(layer.name) if formats else None
+            accum = accums.get(layer.name) if accums else None
             blocks.append(self._layer_config_struct(i, layer,
-                                                    resolved=resolved))
+                                                    resolved=resolved,
+                                                    accum=accum))
         blocks += ["#endif", ""]
         return "\n".join(blocks)
 
     @staticmethod
     def _layer_config_struct(idx: int, layer: LayerInfo,
-                             resolved=None) -> str:
+                             resolved=None, accum=None) -> str:
         lines = [f"// {layer.name} ({layer.kind})",
                  f"struct config{idx} : nnet::common_config {{"]
         lines.append(f"    static const unsigned n_in = {layer.in_elements};")
@@ -247,6 +259,10 @@ class HLSEmitter:
             if resolved.accum is not None:
                 accum_t = str(resolved.accum)
             result_t = str(resolved.activation)
+        if accum is not None:
+            # The certificate's proven-safe width beats the calibrated
+            # (empirical) accumulator format.
+            accum_t = str(accum)
         lines.append(f"    typedef {weight_t} weight_t;")
         lines.append(f"    typedef {bias_t} bias_t;")
         lines.append(f"    typedef {scale_t} scale_t;")
@@ -376,13 +392,17 @@ class HLSEmitter:
 def emit_hls_project(design: AcceleratorDesign, outdir: str, *,
                      model: Optional[Module] = None,
                      formats: Optional[Mapping[str, object]] = None,
+                     certificate=None,
                      project_name: str = "myproject") -> EmittedProject:
     """Convenience wrapper: emit ``design`` as an HLS project.
 
     ``formats`` takes a compiled kernel's
     :meth:`~repro.hw.compile.CompiledKernel.resolved_formats` record to
-    emit calibrated per-layer number formats (see
+    emit calibrated per-layer number formats; ``certificate`` takes the
+    kernel's :class:`~repro.analysis.OverflowCertificate` to pin the
+    ``accum_t`` typedefs to the proven-safe widths (see
     :meth:`HLSEmitter.emit`).
     """
     return HLSEmitter(project_name).emit(design, outdir, model=model,
-                                         formats=formats)
+                                         formats=formats,
+                                         certificate=certificate)

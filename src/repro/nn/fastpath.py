@@ -83,7 +83,9 @@ class TrainWorkspace:
     @property
     def nbytes(self) -> int:
         """Total bytes held by the pooled buffers."""
-        return sum(buf.nbytes for buf in self._buffers.values())
+        # Integer byte counts: order-free accumulation.
+        return sum(buf.nbytes  # repro: allow[unordered-float-sum]
+                   for buf in self._buffers.values())
 
 
 def current_workspace() -> Optional[TrainWorkspace]:

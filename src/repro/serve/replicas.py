@@ -346,7 +346,10 @@ class ReplicaPool:
             self._buffer, self._shared, self.shared_bytes = share_arrays(
                 arrays)
             for name, parameter in unique.values():
-                parameter.data = self._shared[name]
+                # Pre-fork setup: repointing parameters at the shared
+                # mapping *before* any worker exists is the float
+                # analogue of rebind_tensors.
+                parameter.data = self._shared[name]  # repro: allow[fork-shared-mutation]
             self._model, self._kernel = model, None
         self._state = _WorkerState(
             axis=self.axis, deployment=deployment,

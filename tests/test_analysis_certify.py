@@ -1,0 +1,308 @@
+"""Overflow-certificate tests: soundness plumbing, persistence, gates.
+
+Three layers of coverage:
+
+* crafted plans — a deliberately overflowing linear plan is flagged
+  ``wrap-possible`` while benign plans certify ``saturation-only``;
+* the compiled zoo — every paper model (MLP, LeNet, VGG-11, ResNet-18
+  slim variants) certifies clean, which is the repo's standing claim
+  that the widened int64 accumulators can never wrap for *any*
+  representable input;
+* the artifact gates — ``compile_and_report`` persists a certificate
+  and refuses wrap-possible kernels, ``verify_kernel`` re-derives it
+  from bytes and detects tampering/staleness, and the certificate's
+  ``accum_formats()`` drive the HLS emitter's ``accum_t`` typedefs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certify import (
+    CERTIFICATE_ARTIFACT,
+    OverflowCertificate,
+    VERDICT_SATURATION_ONLY,
+    VERDICT_WRAP_POSSIBLE,
+    certify_kernel,
+    certify_plan,
+    kernel_fingerprint,
+    load_certificate,
+    save_certificate,
+    verify_kernel,
+)
+from repro.api import ArtifactStore, ExperimentSpec
+from repro.hw.compile import CompileError, compile_deployment
+from repro.hw.compile.compiler import compile_and_report
+from repro.hw.compile.kernel import CompiledKernel, LayerPlan
+from repro.hw.fixed_point import FixedPointFormat
+from repro.hw.netlist import KIND_LINEAR
+from repro.serve import Deployment
+
+from tests.test_hw_compile_zoo import ZOO
+
+FMT = FixedPointFormat(total_bits=16, fraction_bits=8)
+
+
+def linear_plan(weight, *, in_format=FMT, out_format=FMT,
+                weight_format=FMT, bias=None) -> LayerPlan:
+    weight = np.asarray(weight, dtype=np.int64)
+    tensors = {"weight": weight}
+    if bias is not None:
+        tensors["bias"] = np.asarray(bias, dtype=np.int64)
+    return LayerPlan(
+        name="fc", kind=KIND_LINEAR,
+        in_shape=(weight.shape[1],), out_shape=(weight.shape[0],),
+        in_format=in_format, out_format=out_format,
+        weight_format=weight_format, tensors=tensors)
+
+
+def small_spec(model="lenet_slim", dataset="mnist_like", size=16):
+    return ExperimentSpec(
+        name=f"certify-{model}", model=model, dataset=dataset,
+        image_size=size, dataset_size=120, seed=31)
+
+
+@pytest.fixture(scope="module")
+def lenet_deployment():
+    return Deployment.from_spec(small_spec(), (1, 16, 16),
+                                config=("B", "B", "M"))
+
+
+# ----------------------------------------------------------------------
+# Crafted plans: the overflow fixture and its benign twin
+# ----------------------------------------------------------------------
+class TestCraftedPlans:
+    def test_benign_linear_is_saturation_only(self):
+        cert = certify_plan(linear_plan(np.full((4, 64), 100)))
+        assert not cert.wrap_possible
+        assert cert.headroom_bits > 0
+        # 64 weights of code 100 against |x| <= 2**15: exact bound.
+        assert cert.magnitude_bound == 64 * 100 * (1 << 15)
+        assert cert.accum_hi == 64 * 100 * ((1 << 15) - 1)
+        assert cert.accum_lo == -64 * 100 * (1 << 15)
+
+    def test_overflowing_linear_is_flagged(self):
+        # A wide-format reduction whose worst case tops 2**63: 4096
+        # weights of code 2**32 against |x| <= 2**31 gives ~2**75.
+        plan = linear_plan(
+            np.full((4, 4096), 1 << 32),
+            in_format=FixedPointFormat(32, 0),
+            weight_format=FixedPointFormat(48, 0),
+            out_format=FixedPointFormat(32, 0))
+        cert = certify_plan(plan)
+        assert cert.wrap_possible
+        assert cert.headroom_bits < 0
+        assert cert.safe_accum_format() is None
+
+    def test_bias_add_shifts_the_bound(self):
+        base = certify_plan(linear_plan(np.full((2, 8), 50)))
+        biased = certify_plan(linear_plan(np.full((2, 8), 50),
+                                          bias=np.array([700, -700])))
+        assert biased.magnitude_bound == base.magnitude_bound + 700
+        assert biased.accum_hi == base.accum_hi + 700
+        assert biased.accum_lo == base.accum_lo - 700
+
+    def test_left_shift_hazard_is_caught_post_shift(self):
+        # The accumulation itself fits int64, but requantize's negative
+        # shift (out fraction far above accum fraction) scales it past
+        # the word: post_shift_bound must catch what the raw
+        # accumulator bound misses.
+        plan = linear_plan(
+            np.full((1, 16), 1 << 20),
+            in_format=FixedPointFormat(24, 0),
+            weight_format=FixedPointFormat(24, 0),
+            out_format=FixedPointFormat(60, 48))
+        cert = certify_plan(plan)
+        assert cert.magnitude_bound <= (1 << 63) - 1
+        assert cert.post_shift_bound > (1 << 63) - 1
+        assert cert.wrap_possible
+
+    def test_wrap_possible_kernel_verdict(self):
+        plan = linear_plan(
+            np.full((4, 4096), 1 << 32),
+            in_format=FixedPointFormat(32, 0),
+            weight_format=FixedPointFormat(48, 0),
+            out_format=FixedPointFormat(32, 0))
+        cert = certify_kernel(CompiledKernel(None, [plan]))
+        assert cert.verdict == VERDICT_WRAP_POSSIBLE
+        assert cert.wrap_possible
+
+
+# ----------------------------------------------------------------------
+# Compiled kernels: zoo-wide clean verdicts + round-trip
+# ----------------------------------------------------------------------
+class TestCompiledKernels:
+    @pytest.fixture(scope="class", params=sorted(ZOO), ids=sorted(ZOO))
+    def zoo_certificate(self, request):
+        dataset, in_shape, config = ZOO[request.param]
+        deployment = Deployment.from_spec(
+            small_spec(request.param, dataset, in_shape[1]),
+            in_shape, config=config)
+        kernel = compile_deployment(deployment, calibration_rows=8,
+                                    num_samples=2)
+        return certify_kernel(kernel)
+
+    def test_zoo_models_certify_clean(self, zoo_certificate):
+        assert zoo_certificate.verdict == VERDICT_SATURATION_ONLY
+        assert zoo_certificate.min_headroom_bits is not None
+        assert zoo_certificate.min_headroom_bits > 0
+
+    def test_every_arithmetic_layer_has_bounds(self, zoo_certificate):
+        for layer in zoo_certificate.layers:
+            if layer.arithmetic:
+                assert layer.magnitude_bound >= max(
+                    abs(layer.accum_lo), abs(layer.accum_hi))
+                assert layer.required_accum_bits <= 64
+                assert layer.safe_accum_format() is not None
+
+    def test_certificate_round_trips(self, zoo_certificate):
+        clone = OverflowCertificate.from_dict(zoo_certificate.to_dict())
+        assert clone.to_dict() == zoo_certificate.to_dict()
+        assert clone.kernel_fingerprint \
+            == zoo_certificate.kernel_fingerprint
+
+    def test_fingerprint_tracks_tensor_bytes(self, lenet_deployment):
+        kernel = compile_deployment(lenet_deployment, calibration_rows=8,
+                                    num_samples=2)
+        before = kernel_fingerprint(kernel)
+        plan = next(p for p in kernel.plans if "weight" in p.tensors)
+        plan.tensors["weight"] = plan.tensors["weight"].copy()
+        plan.tensors["weight"].flat[0] += 1
+        assert kernel_fingerprint(kernel) != before
+
+
+# ----------------------------------------------------------------------
+# Artifact gates: compile persists, verify re-derives, stale detected
+# ----------------------------------------------------------------------
+class TestArtifactGates:
+    @pytest.fixture(scope="class")
+    def compiled_store(self, lenet_deployment, tmp_path_factory):
+        store = ArtifactStore(str(tmp_path_factory.mktemp("certify")))
+        compile_and_report(lenet_deployment, store, calibration_rows=8,
+                           fidelity_rows=4, num_samples=2)
+        return store
+
+    def test_compile_persists_certificate(self, compiled_store):
+        assert compiled_store.has(CERTIFICATE_ARTIFACT)
+        cert = load_certificate(compiled_store)
+        assert cert.verdict == VERDICT_SATURATION_ONLY
+
+    def test_verify_kernel_passes(self, compiled_store, lenet_deployment):
+        result = verify_kernel(compiled_store, lenet_deployment)
+        assert result.ok
+        assert result.stored is not None
+        assert not result.stale
+        assert result.certificate.kernel_fingerprint \
+            == result.stored.kernel_fingerprint
+
+    @staticmethod
+    def _copy_store(src, dst, *, skip=()):
+        for name in src.list_artifacts():
+            if name not in skip:
+                dst.save_json(name, src.load_json(name))
+        dst.save_state("kernel_tensors", src.load_state("kernel_tensors"))
+
+    def test_tampered_certificate_is_stale(self, compiled_store,
+                                           lenet_deployment, tmp_path):
+        tampered = ArtifactStore(str(tmp_path))
+        self._copy_store(compiled_store, tampered)
+        cert = load_certificate(tampered)
+        cert.kernel_fingerprint = "0" * 64
+        save_certificate(cert, tampered)
+        result = verify_kernel(tampered, lenet_deployment)
+        assert result.stale
+        assert not result.ok
+
+    def test_resume_backfills_missing_certificate(
+            self, compiled_store, lenet_deployment, tmp_path):
+        clone = ArtifactStore(str(tmp_path))
+        self._copy_store(compiled_store, clone,
+                         skip=(CERTIFICATE_ARTIFACT,))
+        assert not clone.has(CERTIFICATE_ARTIFACT)
+        compile_and_report(lenet_deployment, clone, calibration_rows=8,
+                           fidelity_rows=4, num_samples=2)
+        assert clone.has(CERTIFICATE_ARTIFACT)
+
+    def test_compile_refuses_wrap_possible(self, lenet_deployment,
+                                           tmp_path):
+        # An absurdly fine conv1 output format drives requantize's
+        # shift hugely negative — the exact left-shift that wraps
+        # int64 — and the compile must refuse to persist.
+        store = ArtifactStore(str(tmp_path))
+        overrides = {"conv1": FixedPointFormat(60, 59)}
+        with pytest.raises(CompileError, match="wrap-possible"):
+            compile_and_report(lenet_deployment, store,
+                               calibration_rows=8, fidelity_rows=4,
+                               num_samples=2, overrides=overrides)
+        assert not store.has(CERTIFICATE_ARTIFACT)
+
+    def test_allow_unsafe_persists_and_verify_fails(
+            self, lenet_deployment, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        overrides = {"conv1": FixedPointFormat(60, 59)}
+        compile_and_report(lenet_deployment, store, calibration_rows=8,
+                           fidelity_rows=4, num_samples=2,
+                           overrides=overrides, allow_unsafe=True)
+        cert = load_certificate(store)
+        assert cert.verdict == VERDICT_WRAP_POSSIBLE
+        result = verify_kernel(store, lenet_deployment)
+        assert not result.ok
+        assert not result.stale  # honest certificate, unsafe kernel
+
+
+# ----------------------------------------------------------------------
+# Emitter integration: certified accum_t widths reach parameters.h
+# ----------------------------------------------------------------------
+class TestEmitterIntegration:
+    def test_certificate_overrides_accum_typedefs(self, tmp_path):
+        from repro.hw import (
+            AcceleratorBuilder,
+            AcceleratorConfig,
+            emit_hls_project,
+        )
+        from repro.models import build_model
+        from repro.search import Supernet
+
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        net = Supernet(model, rng=1)
+        builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+        design = builder.build_for_config(net, (1, 16, 16),
+                                          ("B", "K", "M"),
+                                          name="lenet_slim")
+        deployment = Deployment.from_spec(small_spec(), (1, 16, 16),
+                                          config=("B", "B", "M"))
+        kernel = compile_deployment(deployment, calibration_rows=8,
+                                    num_samples=2)
+        certificate = certify_kernel(kernel)
+        emit_hls_project(design, str(tmp_path),
+                         certificate=certificate)
+        text = (tmp_path / "firmware" / "parameters.h").read_text()
+        formats = certificate.accum_formats()
+        layer_names = {l.name for l in design.netlist.layers}
+        emitted = {name: fmt for name, fmt in formats.items()
+                   if name in layer_names}
+        assert emitted, "certificate and design share layer names"
+        for fmt in emitted.values():
+            assert str(fmt) in text
+
+    def test_without_certificate_default_accum_kept(self, tmp_path):
+        from repro.hw import (
+            AcceleratorBuilder,
+            AcceleratorConfig,
+            emit_hls_project,
+        )
+        from repro.models import build_model
+        from repro.search import Supernet
+
+        model = build_model("lenet_slim", image_size=16, rng=0)
+        net = Supernet(model, rng=1)
+        builder = AcceleratorBuilder(AcceleratorConfig(pe=8))
+        design = builder.build_for_config(net, (1, 16, 16),
+                                          ("B", "K", "M"),
+                                          name="lenet_slim")
+        emit_hls_project(design, str(tmp_path))
+        text = (tmp_path / "firmware" / "parameters.h").read_text()
+        assert "ap_fixed<32,16> accum_t" in text
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,195 @@
+"""Edge-case audit of the integer kernel primitives at int64 extremes.
+
+The compiled kernel's rescaling primitives — :func:`round_shift`,
+:func:`round_divide`, :func:`saturate` — run on int64 accumulators
+whose worst-case magnitudes the overflow certificate bounds.  These
+tests pin their behavior at the extremes the certificate reasons
+about: INT64_MIN/MAX operands, ``shift == 0`` and negative shifts,
+and negative exact-half ties under round-half-to-even.
+
+The reference implementations here use *exact* integer arithmetic
+(``divmod`` + tie-to-even), not ``np.rint(acc / 2**shift)``: a float64
+reference is off by whole units at 2**63 magnitudes, which is exactly
+the regime being audited.
+
+Audit notes pinned below (each has a test):
+
+* ``round_divide(INT64_MIN, 3)``: the intermediate ``q * divisor``
+  wraps int64, but ``r = acc - q*divisor`` is computed modulo 2**64 in
+  two's complement, so the remainder — and therefore the result — is
+  still exact.
+* ``round_shift`` with ``shift <= 0`` is a bare left shift: it wraps
+  silently once codes exceed ``2**63 / 2**-shift``.  That hazard is
+  *statically excluded* by the overflow certificate (the
+  ``post_shift_bound``), not by the primitive; the test documents the
+  division of labor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intervals import INT64_MAX, INT64_MIN
+from repro.hw.compile.kernel import round_divide, round_shift, saturate
+from repro.hw.fixed_point import FixedPointFormat
+
+
+def _rhe(numerator: int, denominator: int) -> int:
+    """Exact round-half-to-even of ``numerator / denominator``.
+
+    Pure Python integers: correct at any magnitude, unlike a float
+    reference which loses whole units beyond 2**53.
+    """
+    q, r = divmod(numerator, denominator)
+    twice = 2 * r
+    if twice > denominator or (twice == denominator and q % 2 == 1):
+        q += 1
+    return q
+
+
+def _shift_ref(value: int, shift: int) -> int:
+    """Reference for :func:`round_shift` (exact at any magnitude)."""
+    if shift <= 0:
+        return value << (-shift)
+    return _rhe(value, 1 << shift)
+
+
+# ----------------------------------------------------------------------
+# round_shift
+# ----------------------------------------------------------------------
+class TestRoundShift:
+    def test_zero_shift_is_identity(self):
+        codes = np.array([INT64_MIN, -1, 0, 1, INT64_MAX], dtype=np.int64)
+        np.testing.assert_array_equal(round_shift(codes, 0), codes)
+
+    def test_negative_shift_scales_up_exactly(self):
+        codes = np.array([-5, -1, 0, 3], dtype=np.int64)
+        np.testing.assert_array_equal(round_shift(codes, -4), codes * 16)
+
+    def test_int64_min_arithmetic_shift(self):
+        # INT64_MIN >> k is well-defined (arithmetic shift) and the
+        # remainder mask keeps the tie logic exact.
+        codes = np.array([INT64_MIN], dtype=np.int64)
+        for shift in (1, 8, 31, 62):
+            expected = _shift_ref(INT64_MIN, shift)
+            assert int(round_shift(codes, shift)[0]) == expected
+
+    def test_int64_max_round_up_stays_in_word(self):
+        # INT64_MAX >> 8 rounds up by one; the +1 carry must not wrap.
+        codes = np.array([INT64_MAX], dtype=np.int64)
+        for shift in (1, 8, 62):
+            expected = _shift_ref(INT64_MAX, shift)
+            assert int(round_shift(codes, shift)[0]) == expected
+
+    def test_negative_exact_half_ties_to_even(self):
+        # -2.5 -> -2, -1.5 -> -2, -0.5 -> 0 at shift=1 (codes -5,-3,-1).
+        codes = np.array([-5, -3, -1, 1, 3, 5], dtype=np.int64)
+        expected = np.array([_shift_ref(int(c), 1) for c in codes])
+        np.testing.assert_array_equal(round_shift(codes, 1), expected)
+
+    def test_matches_reference_on_dense_small_range(self):
+        codes = np.arange(-4096, 4097, dtype=np.int64)
+        for shift in (1, 2, 3, 7):
+            expected = np.array([_shift_ref(int(c), shift) for c in codes])
+            np.testing.assert_array_equal(round_shift(codes, shift),
+                                          expected)
+
+    def test_matches_rint_where_floats_are_exact(self):
+        # The documented contract: np.rint(acc / 2**shift) — valid only
+        # while the quotient fits float64's integer range.
+        codes = np.arange(-3000, 3000, 7, dtype=np.int64) * 1001
+        for shift in (3, 10):
+            expected = np.rint(codes / (1 << shift)).astype(np.int64)
+            np.testing.assert_array_equal(round_shift(codes, shift),
+                                          expected)
+
+    def test_left_shift_wraps_without_certificate(self):
+        # Documented hazard: shift <= 0 is a bare left shift and wraps
+        # silently at the word boundary.  The overflow certificate's
+        # post_shift_bound is what excludes this case statically.
+        codes = np.array([1 << 62], dtype=np.int64)
+        with np.errstate(over="ignore"):
+            wrapped = round_shift(codes, -1)
+        assert int(wrapped[0]) == INT64_MIN  # 2**63 wrapped negative
+
+
+# ----------------------------------------------------------------------
+# round_divide
+# ----------------------------------------------------------------------
+class TestRoundDivide:
+    def test_int64_min_by_three_is_exact(self):
+        # Audit: q * divisor wraps int64 here, but two's-complement
+        # wraparound cancels in r = acc - q*divisor (mod 2**64), so the
+        # rounded quotient is still exact.
+        acc = np.array([INT64_MIN], dtype=np.int64)
+        with np.errstate(over="ignore"):
+            result = int(round_divide(acc, 3)[0])
+        assert result == _rhe(INT64_MIN, 3)
+
+    def test_int64_extremes_various_divisors(self):
+        for value in (INT64_MIN, INT64_MIN + 1, INT64_MAX - 1, INT64_MAX):
+            for divisor in (2, 3, 4, 7, 9, 255):
+                acc = np.array([value], dtype=np.int64)
+                with np.errstate(over="ignore"):
+                    result = int(round_divide(acc, divisor)[0])
+                assert result == _rhe(value, divisor), (value, divisor)
+
+    def test_negative_exact_half_ties_to_even(self):
+        # -9/2 = -4.5 -> -4 (even); -11/2 = -5.5 -> -6 (even).
+        acc = np.array([-9, -11, 9, 11], dtype=np.int64)
+        np.testing.assert_array_equal(round_divide(acc, 2),
+                                      np.array([-4, -6, 4, 6]))
+
+    def test_matches_reference_on_dense_small_range(self):
+        acc = np.arange(-2000, 2001, dtype=np.int64)
+        for divisor in (2, 3, 4, 9, 16):
+            expected = np.array([_rhe(int(v), divisor) for v in acc])
+            np.testing.assert_array_equal(round_divide(acc, divisor),
+                                          expected)
+
+    def test_divisor_one_is_identity(self):
+        acc = np.array([INT64_MIN, -1, 0, INT64_MAX], dtype=np.int64)
+        np.testing.assert_array_equal(round_divide(acc, 1), acc)
+
+
+# ----------------------------------------------------------------------
+# saturate
+# ----------------------------------------------------------------------
+class TestSaturate:
+    def test_full_width_format_is_identity_at_extremes(self):
+        fmt = FixedPointFormat(total_bits=64, fraction_bits=0)
+        codes = np.array([INT64_MIN, -1, 0, INT64_MAX], dtype=np.int64)
+        np.testing.assert_array_equal(saturate(codes, fmt), codes)
+
+    def test_narrow_format_clamps_extremes(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        codes = np.array([INT64_MIN, -32769, -32768, 32767, 32768,
+                          INT64_MAX], dtype=np.int64)
+        np.testing.assert_array_equal(
+            saturate(codes, fmt),
+            np.array([-32768, -32768, -32768, 32767, 32767, 32767]))
+
+    def test_interior_codes_pass_through(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        codes = np.arange(-32768, 32768, 997, dtype=np.int64)
+        np.testing.assert_array_equal(saturate(codes, fmt), codes)
+
+
+# ----------------------------------------------------------------------
+# float-reference breakdown (why the audit uses integer references)
+# ----------------------------------------------------------------------
+def test_float_reference_is_wrong_at_int64_extremes():
+    # Float64 spacing at 2**62 is 1024, so the +12 below vanishes in a
+    # float oracle — np.rint(value / 8) lands on 2**59 while the exact
+    # quotient ties at .5 and rounds (half-to-even) up to 2**59 + 2.
+    # Any float-based reference is invalid in exactly the regime the
+    # certificate reasons about; round_shift stays exact.
+    value = (1 << 62) + 12
+    exact = _rhe(value, 8)
+    via_float = int(np.rint(value / 8))
+    assert via_float != exact
+    codes = np.array([value], dtype=np.int64)
+    assert int(round_shift(codes, 3)[0]) == exact
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
