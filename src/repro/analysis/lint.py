@@ -87,6 +87,7 @@ FINGERPRINT_MODULES = (
 #: here.
 FORK_MODULES = (
     "repro/serve/",
+    "repro/search/async_ea.py",
 )
 
 #: Functions allowed to repoint shared tensors (the sanctioned path).

@@ -43,9 +43,11 @@ from repro.api.runner import (
 )
 from repro.api.spec import (
     SCHEMA_VERSION,
+    SEARCH_ALGORITHMS,
     AcceleratorSpec,
     EvolutionSpec,
     ExperimentSpec,
+    FidelityRungSpec,
     GenerateSpec,
     SearchSpec,
     SpecError,
@@ -74,11 +76,13 @@ __all__ = [
     "EvolutionSpec",
     "ExperimentResult",
     "ExperimentSpec",
+    "FidelityRungSpec",
     "GenerateSpec",
     "GenerateStage",
     "Pipeline",
     "PipelineContext",
     "Runner",
+    "SEARCH_ALGORITHMS",
     "SearchSpec",
     "SearchStage",
     "SpecError",

@@ -29,6 +29,7 @@ from repro.bayes.mc import ENGINES
 from repro.hw.device import DEVICE_CATALOG, get_device
 from repro.hw.fixed_point import FixedPointFormat
 from repro.hw.perf import AcceleratorConfig
+from repro.search.async_ea import AsyncEAConfig, FidelityRung
 from repro.search.evolution import EvolutionConfig
 from repro.search.objective import AIM_PRESETS
 from repro.search.space import config_from_string
@@ -140,6 +141,46 @@ class EvolutionSpec:
 
 
 @dataclass
+class FidelityRungSpec:
+    """One screening rung of the asynchronous multi-fidelity ladder.
+
+    Maps onto :class:`repro.search.async_ea.FidelityRung`: candidates
+    are first scored with ``mc_samples`` Monte-Carlo passes (``null``
+    keeps the experiment's full ``T``) on a ``data_fraction`` subset of
+    the validation/OOD rows, and only the top ``keep_fraction`` advance
+    toward the full-fidelity evaluation.
+    """
+
+    mc_samples: Optional[int] = None
+    data_fraction: float = 1.0
+    keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Delegate range checks to the runtime config's validation.
+        try:
+            self.to_config()
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"invalid fidelity rung: {exc}") from exc
+
+    def to_config(self) -> FidelityRung:
+        """The runtime :class:`FidelityRung` this section describes."""
+        return FidelityRung(mc_samples=self.mc_samples,
+                            data_fraction=self.data_fraction,
+                            keep_fraction=self.keep_fraction)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FidelityRungSpec":
+        return _from_flat_dict(cls, data, "fidelity rung spec")
+
+
+#: Search algorithms the ``search.algorithm`` field may select.
+SEARCH_ALGORITHMS = ("lockstep", "async_ea")
+
+
+@dataclass
 class SearchSpec:
     """Search section: which aims to optimize and how.
 
@@ -149,11 +190,22 @@ class SearchSpec:
         evolution: EA hyper-parameters shared by every aim.
         use_gp_cost_model: use the fast GP latency model inside the EA
             loop (paper default); False uses the exact analytic oracle.
+        algorithm: ``"lockstep"`` (generation-synchronous EA, the
+            default) or ``"async_ea"`` (steady-state asynchronous EA,
+            :mod:`repro.search.async_ea`).
+        fidelity_rungs: successive-halving screening ladder for
+            ``async_ea``; empty evaluates every candidate at full
+            fidelity.
+        surrogate_promotion: let the ``async_ea`` GP surrogate rescue
+            screened-out candidates it predicts to beat the incumbent.
     """
 
     aims: Tuple[str, ...] = ("accuracy", "ece", "ape", "latency")
     evolution: EvolutionSpec = field(default_factory=EvolutionSpec)
     use_gp_cost_model: bool = True
+    algorithm: str = "lockstep"
+    fidelity_rungs: Tuple[FidelityRungSpec, ...] = ()
+    surrogate_promotion: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.aims, str):
@@ -167,12 +219,37 @@ class SearchSpec:
                                 f"presets: {sorted(AIM_PRESETS)}")
         if len(set(self.aims)) != len(self.aims):
             raise SpecError(f"duplicate aims in {list(self.aims)}")
+        if self.algorithm not in SEARCH_ALGORITHMS:
+            raise SpecError(f"unknown search.algorithm "
+                            f"{self.algorithm!r}; choose from "
+                            f"{list(SEARCH_ALGORITHMS)}")
+        self.fidelity_rungs = tuple(self.fidelity_rungs)
+        if self.algorithm == "lockstep":
+            if self.fidelity_rungs:
+                raise SpecError(
+                    "search.fidelity_rungs requires "
+                    "search.algorithm == 'async_ea'")
+            if self.surrogate_promotion:
+                raise SpecError(
+                    "search.surrogate_promotion requires "
+                    "search.algorithm == 'async_ea'")
+
+    def to_async_config(self) -> AsyncEAConfig:
+        """The runtime :class:`AsyncEAConfig` this section describes."""
+        return AsyncEAConfig(
+            evolution=self.evolution.to_config(),
+            rungs=tuple(rung.to_config() for rung in self.fidelity_rungs),
+            surrogate_promotion=self.surrogate_promotion)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "aims": list(self.aims),
             "evolution": self.evolution.to_dict(),
             "use_gp_cost_model": self.use_gp_cost_model,
+            "algorithm": self.algorithm,
+            "fidelity_rungs": [rung.to_dict()
+                               for rung in self.fidelity_rungs],
+            "surrogate_promotion": self.surrogate_promotion,
         }
 
     @classmethod
@@ -181,6 +258,13 @@ class SearchSpec:
         _check_unknown(data, cls, "search spec")
         if "evolution" in data:
             data["evolution"] = EvolutionSpec.from_dict(data["evolution"])
+        if "fidelity_rungs" in data:
+            rungs = data["fidelity_rungs"]
+            if isinstance(rungs, (str, Mapping)):
+                raise SpecError(
+                    "search.fidelity_rungs must be a list of rung specs")
+            data["fidelity_rungs"] = tuple(
+                FidelityRungSpec.from_dict(rung) for rung in rungs)
         try:
             return cls(**data)
         except SpecError:
@@ -513,9 +597,11 @@ class ExperimentSpec:
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SEARCH_ALGORITHMS",
     "AcceleratorSpec",
     "EvolutionSpec",
     "ExperimentSpec",
+    "FidelityRungSpec",
     "GenerateSpec",
     "SearchSpec",
     "SpecError",

@@ -49,6 +49,8 @@ from repro.hw.perf import AcceleratorConfig
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.search import (
+    AsyncEvolutionarySearch,
+    AsyncSearchResult,
     BatchedEvaluator,
     CandidateEvaluator,
     CandidateResult,
@@ -486,13 +488,27 @@ class SearchStage(Stage):
     def search_one(self, ctx: PipelineContext, aim, *,
                    evolution: Optional[EvolutionConfig] = None,
                    use_gp_cost_model: bool = True) -> SearchResult:
-        """Search a single aim, resuming from its artifact when present."""
+        """Search a single aim, resuming from its artifact when present.
+
+        ``spec.search.algorithm`` selects the loop: the lock-step
+        :class:`~repro.search.evolution.EvolutionarySearch` (default)
+        or the steady-state
+        :class:`~repro.search.async_ea.AsyncEvolutionarySearch` with
+        its successive-halving rungs.  Both derive the proposal RNG
+        identically, and persisted artifacts record which algorithm
+        produced them so a resumed run restores the matching result
+        type.
+        """
         aim_obj = get_aim(aim)
+        algorithm = ctx.spec.search.algorithm
         if ctx.store is not None:
             name = self.artifact_name(aim_obj.name)
             if ctx.store.has(name):
                 payload = ctx.store.load_json(name)
-                result = SearchResult.from_dict(payload["result"])
+                result_cls = (AsyncSearchResult
+                              if payload.get("algorithm") == "async_ea"
+                              else SearchResult)
+                result = result_cls.from_dict(payload["result"])
                 ctx.search_results[aim_obj.name] = result
                 ctx.search_seconds[aim_obj.name] = float(payload["seconds"])
                 ctx.resumed.add(f"search:{aim_obj.name}")
@@ -501,15 +517,25 @@ class SearchStage(Stage):
         # zlib.crc32 is stable across processes (unlike hash(str)).
         aim_salt = zlib.crc32(aim_obj.name.encode())
         with Timer() as timer:
-            search = EvolutionarySearch(
-                evaluator, aim_obj, config=evolution,
-                rng=derive_seed(ctx.spec.seed, 8, aim_salt))
+            rng = derive_seed(ctx.spec.seed, 8, aim_salt)
+            if algorithm == "async_ea":
+                async_config = ctx.spec.search.to_async_config()
+                if evolution is not None:
+                    async_config = dataclasses.replace(
+                        async_config, evolution=evolution)
+                search = AsyncEvolutionarySearch(
+                    evaluator, aim_obj, config=async_config, rng=rng,
+                    num_workers=ctx.spec.num_workers)
+            else:
+                search = EvolutionarySearch(
+                    evaluator, aim_obj, config=evolution, rng=rng)
             result = search.run()
         ctx.search_results[aim_obj.name] = result
         ctx.search_seconds[aim_obj.name] = timer.elapsed
         if ctx.store is not None:
             ctx.store.save_json(self.artifact_name(aim_obj.name), {
                 "aim": aim_obj.name,
+                "algorithm": algorithm,
                 "seconds": timer.elapsed,
                 "result": result.to_dict(),
             })

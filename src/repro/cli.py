@@ -53,9 +53,11 @@ from typing import List, Optional
 import numpy as np
 
 from repro.api import (
+    SEARCH_ALGORITHMS,
     ArtifactError,
     EvolutionSpec,
     ExperimentSpec,
+    FidelityRungSpec,
     Pipeline,
     PipelineContext,
     Runner,
@@ -108,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training execution path (overrides the spec's "
                             "train.train_mode; the paths are bit-identical, "
                             "fast is the default)")
+    p_run.add_argument("--algorithm", choices=list(SEARCH_ALGORITHMS),
+                       default=None,
+                       help="search loop (overrides the spec's "
+                            "search.algorithm): lockstep generations or "
+                            "the steady-state async_ea")
     p_run.add_argument("--json", action="store_true", dest="as_json",
                        help="print the full result digest as JSON")
     p_run.add_argument("--export-deployment", default=None, metavar="DIR",
@@ -227,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--train-mode", choices=["fast", "reference"], default="fast",
         help="training execution path (bit-identical; default: fast)")
     p_search.add_argument(
+        "--algorithm", choices=list(SEARCH_ALGORITHMS),
+        default="lockstep",
+        help="search loop: lockstep generations (default) or the "
+             "steady-state async_ea")
+    p_search.add_argument(
+        "--rung", action="append", default=None, metavar="T:FRAC[:KEEP]",
+        help="add one async_ea screening rung: T Monte-Carlo passes "
+             "(0 = full T) on a FRAC validation subset, keeping the "
+             "top KEEP fraction (default 0.5); repeatable, ordered "
+             "cheapest first")
+    p_search.add_argument(
         "--store", default=None,
         help="optional artifact-store root; enables resume")
 
@@ -247,6 +265,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_rung(text: str) -> FidelityRungSpec:
+    """Parse one ``--rung T:FRAC[:KEEP]`` flag (T = 0 keeps full T)."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise SpecError(f"--rung expects T:FRAC[:KEEP], got {text!r}")
+    try:
+        mc_samples = int(parts[0])
+        data_fraction = float(parts[1])
+        keep_fraction = float(parts[2]) if len(parts) == 3 else 0.5
+    except ValueError as exc:
+        raise SpecError(f"invalid --rung {text!r}: {exc}") from exc
+    return FidelityRungSpec(
+        mc_samples=None if mc_samples == 0 else mc_samples,
+        data_fraction=data_fraction,
+        keep_fraction=keep_fraction)
+
+
 def _spec_from_args(args: argparse.Namespace, *,
                     aims: Optional[List[str]] = None,
                     population: Optional[int] = None,
@@ -257,6 +292,11 @@ def _spec_from_args(args: argparse.Namespace, *,
         evolution = EvolutionSpec(
             population_size=population if population is not None else 16,
             generations=generations if generations is not None else 8)
+    algorithm = getattr(args, "algorithm", None) or "lockstep"
+    rungs = tuple(_parse_rung(text)
+                  for text in (getattr(args, "rung", None) or ()))
+    if rungs and algorithm != "async_ea":
+        raise SpecError("--rung requires --algorithm async_ea")
     return ExperimentSpec(
         name=f"cli-{args.model}",
         model=args.model, dataset=args.dataset,
@@ -268,7 +308,9 @@ def _spec_from_args(args: argparse.Namespace, *,
                         train_mode=getattr(args, "train_mode", None)
                         or "fast"),
         search=SearchSpec(aims=tuple(aims) if aims else ("accuracy",),
-                          evolution=evolution))
+                          evolution=evolution,
+                          algorithm=algorithm,
+                          fidelity_rungs=rungs))
 
 
 def _specified_context(args: argparse.Namespace) -> PipelineContext:
@@ -311,6 +353,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         # modes also keeps resuming persisted artifacts.
         spec = spec.with_updates(train=dataclasses.replace(
             spec.train, train_mode=args.train_mode))
+    if args.algorithm is not None and args.algorithm != spec.search.algorithm:
+        # The algorithm changes the search trajectory, so — unlike the
+        # worker/train-mode overrides — the updated spec resumes into
+        # its own artifact namespace (a fresh fingerprint).
+        spec = spec.with_updates(search=dataclasses.replace(
+            spec.search, algorithm=args.algorithm))
     runner = Runner(spec,
                     store_root=None if args.no_store else args.store)
     result = runner.run()

@@ -15,12 +15,13 @@ implements exact GP regression with:
 from __future__ import annotations
 
 import math
+import zlib
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy import optimize
 
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import SeedLike, derive_seed, new_rng
 
 _JITTER = 1e-8
 _LOG_BOUNDS = (-8.0, 8.0)
@@ -80,6 +81,13 @@ class GaussianProcessRegressor:
         self.optimize_hyperparams = bool(optimize_hyperparams)
         self.n_restarts = int(n_restarts)
         self.rng = new_rng(rng)
+        # Restart initializations must not depend on how many fits ran
+        # before (surrogate-guided searches refit on growing data and
+        # resumed runs refit on identical data): one seed is drawn at
+        # construction and every fit() derives its restart stream from
+        # (this seed, data fingerprint), so refitting the same data
+        # always reproduces the same hyperparameters.
+        self._restart_seed = int(self.rng.integers(2 ** 31 - 1))
 
         self._x: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
@@ -156,8 +164,12 @@ class GaussianProcessRegressor:
         y_std = float(yc.std()) or 1.0
         theta0 = self._pack(y_std ** 2, np.ones(d), max(self.init_noise, 1e-3))
         candidates = [theta0]
+        restart_rng = np.random.default_rng(derive_seed(
+            self._restart_seed, zlib.crc32(x.tobytes()),
+            zlib.crc32(y.tobytes())))
         for _ in range(self.n_restarts if self.optimize_hyperparams else 0):
-            candidates.append(theta0 + self.rng.normal(0.0, 1.0, theta0.shape))
+            candidates.append(
+                theta0 + restart_rng.normal(0.0, 1.0, theta0.shape))
 
         best_theta, best_val = theta0, self._nlml(theta0, xs, yc)
         if self.optimize_hyperparams:

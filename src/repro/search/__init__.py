@@ -6,6 +6,13 @@ evolutionary algorithm with the scalarized aim of Eq. (2) (Sec. 3.4),
 and Pareto / exhaustive analysis tooling (Sec. 4.1, Fig. 4).
 """
 
+from repro.search.async_ea import (
+    AsyncEAConfig,
+    AsyncEvolutionarySearch,
+    AsyncSearchResult,
+    FidelityRung,
+    RungStats,
+)
 from repro.search.constraints import ConstrainedAim, with_latency_budget
 from repro.search.evaluator import (
     BatchedEvaluator,
@@ -17,6 +24,10 @@ from repro.search.evolution import (
     EvolutionarySearch,
     GenerationStats,
     SearchResult,
+    crossover_configs,
+    initial_population,
+    mutate_config,
+    propose_novel,
     random_search,
 )
 from repro.search.exhaustive import (
@@ -78,7 +89,12 @@ __all__ = [
     "METRIC_DIRECTIONS",
     "MINIMIZE",
     "TRAIN_MODES",
+    "AsyncEAConfig",
+    "AsyncEvolutionarySearch",
+    "AsyncSearchResult",
     "BatchedEvaluator",
+    "FidelityRung",
+    "RungStats",
     "MemoryCheckpointer",
     "MultiObjectiveResult",
     "MultiObjectiveSearch",
@@ -101,14 +117,18 @@ __all__ = [
     "best_by_aim",
     "config_from_string",
     "config_to_string",
+    "crossover_configs",
     "dominates",
     "evaluate_all",
     "get_aim",
+    "initial_population",
     "is_on_front",
     "metric_matrix",
+    "mutate_config",
     "pareto_front",
     "pareto_mask",
     "pareto_results",
+    "propose_novel",
     "random_search",
     "train_standalone",
     "train_supernet",

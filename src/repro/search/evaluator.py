@@ -254,6 +254,48 @@ class CandidateEvaluator:
         self._store(config, result)
         return result
 
+    def evaluate_batch(self, configs: Sequence[DropoutConfig], *,
+                       compute: Optional[Callable[
+                           [List[DropoutConfig]],
+                           List[CandidateResult]]] = None
+                       ) -> List[CandidateResult]:
+        """Evaluate many configs through one store-and-count path.
+
+        The single choke point every batch evaluation goes through —
+        per-candidate :meth:`evaluate` calls, generation batches and
+        the process pool all produce identical caching and accounting
+        because this method owns both.  Bookkeeping walks ``configs``
+        positionally: memoized, disk-cached and within-batch duplicate
+        occurrences count as hits; first occurrences of unknown
+        configurations count as misses and are deduplicated into a
+        pending list.  The pending configs are computed by ``compute``
+        (a callable mapping the unique miss list to results in order —
+        e.g. a fork pool) or inline via :meth:`_compute`, then stored
+        into the memo and disk caches.  Returns results matching
+        ``configs`` positionally.
+        """
+        normalized = [self.supernet.space.validate(tuple(config))
+                      for config in configs]
+        pending: List[DropoutConfig] = []
+        pending_set = set()
+        for config in normalized:
+            if config in self._cache or config in pending_set:
+                self.cache_hits += 1
+            elif self._load_from_disk(config) is not None:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                pending.append(config)
+                pending_set.add(config)
+        if pending:
+            if compute is not None:
+                results = compute(pending)
+            else:
+                results = [self._compute(config) for config in pending]
+            for config, result in zip(pending, results):
+                self._store(config, result)
+        return [self._cache[config] for config in normalized]
+
     @property
     def cache(self) -> Dict[DropoutConfig, CandidateResult]:
         """All evaluated candidates so far."""
@@ -334,41 +376,27 @@ class BatchedEvaluator(CandidateEvaluator):
                             ) -> List[CandidateResult]:
         """Score every candidate of one EA generation, in order.
 
-        Cache bookkeeping walks the generation positionally, exactly as
-        per-candidate :meth:`evaluate` calls would: memoized (or
-        disk-cached, or within-generation duplicate) occurrences count
-        as hits, first occurrences of unknown configurations as misses.
-        The misses are then computed — inline, or sharded across the
-        worker pool — and the returned list matches ``configs``
-        positionally, so callers can zip it against their population.
+        A thin wrapper over :meth:`CandidateEvaluator.evaluate_batch`
+        (which owns all cache bookkeeping) that injects the pooled
+        computation path for the deduplicated cache misses and counts
+        the generations that required fresh work.  The returned list
+        matches ``configs`` positionally, so callers can zip it against
+        their population.
         """
-        normalized = [self.supernet.space.validate(tuple(config))
-                      for config in configs]
-        pending: List[DropoutConfig] = []
-        pending_set = set()
-        for config in normalized:
-            if config in self._cache or config in pending_set:
-                self.cache_hits += 1
-            elif self._load_from_disk(config) is not None:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-                pending.append(config)
-                pending_set.add(config)
-        if pending:
+        misses_before = self.cache_misses
+        results = self.evaluate_batch(configs,
+                                      compute=self._compute_pending)
+        if self.cache_misses > misses_before:
             self.generations_evaluated += 1
-            for config, result in zip(pending,
-                                      self._evaluate_pending(pending)):
-                self._store(config, result)
-        return [self._cache[config] for config in normalized]
+        return results
 
-    def _evaluate_pending(self, pending: Sequence[DropoutConfig]
-                          ) -> List[CandidateResult]:
-        """Compute the generation's cache misses, pooled when possible."""
+    def _compute_pending(self, pending: Sequence[DropoutConfig]
+                         ) -> List[CandidateResult]:
+        """Compute a batch's cache misses, pooled when possible."""
         if self.num_workers > 1 and len(pending) > 1:
             # Imported here: repro.search.parallel imports this module.
             from repro.search.parallel import ParallelEvaluator
             pool = ParallelEvaluator(self, num_workers=self.num_workers)
             if pool.available():
-                return pool.evaluate(pending)
+                return pool.compute(pending)
         return [self._compute(config) for config in pending]

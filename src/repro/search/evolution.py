@@ -84,6 +84,101 @@ def _cache_counts(evaluator):
     return hits, misses
 
 
+def mutate_config(space: SearchSpace, rng, parent: DropoutConfig,
+                  mutation_prob: float) -> DropoutConfig:
+    """Flip each gene to a random admissible design with prob ``p``.
+
+    The genetic mutation operator, shared by the lock-step and
+    steady-state loops; draws exactly one uniform per slot (plus one
+    index per flipped gene), so factoring it out preserves historic
+    RNG streams bit-for-bit.
+    """
+    genes = list(parent)
+    for i, slot in enumerate(space.slots):
+        if rng.random() < mutation_prob:
+            genes[i] = slot.choices[rng.integers(len(slot.choices))]
+    return tuple(genes)
+
+
+def crossover_configs(space: SearchSpace, rng, a: DropoutConfig,
+                      b: DropoutConfig) -> DropoutConfig:
+    """Uniform crossover: each gene comes from a random parent."""
+    return tuple(
+        a[i] if rng.random() < 0.5 else b[i]
+        for i in range(space.num_slots)
+    )
+
+
+def initial_population(space: SearchSpace, rng, *, population_size: int,
+                       seed_uniform: bool) -> List[DropoutConfig]:
+    """Random initial population; deduplicated when the space allows it.
+
+    When ``seed_uniform`` is set, the uniform (single-design) baseline
+    configurations occupy the first population slots — the paper's
+    manual baselines are then guaranteed to be evaluated, so a searched
+    result can never fall behind them under any aim.
+    """
+    population: List[DropoutConfig] = []
+    seen = set()
+    if seed_uniform:
+        for config in space.uniform_configs():
+            if len(population) >= population_size:
+                break
+            population.append(config)
+            seen.add(config)
+    target = min(population_size, space.size)
+    attempts = 0
+    while len(population) < target and attempts < 50 * target:
+        candidate = space.sample(rng)
+        attempts += 1
+        if candidate not in seen:
+            seen.add(candidate)
+            population.append(candidate)
+    while len(population) < population_size:
+        population.append(space.sample(rng))
+    return population
+
+
+#: Spaces up to this size get the deterministic coverage fallback.
+_ENUMERABLE_SIZE = 4096
+
+
+def propose_novel(space: SearchSpace, rng, produce, pool: set,
+                  proposed: set) -> DropoutConfig:
+    """Draw a candidate from ``produce``, retrying to escape duplicates.
+
+    Prefers configurations the calling run has never proposed; falls
+    back to avoiding the current ``pool``, and on small spaces sweeps
+    the remaining unproposed configurations deterministically so that a
+    budget exceeding the space size guarantees full coverage.  The
+    paper's sampling stage keeps drawing "until the candidate pool
+    reaches the predefined size" — this is the de-duplicated version of
+    that loop, shared by the lock-step :class:`EvolutionarySearch` and
+    the steady-state :mod:`repro.search.async_ea` proposal stream.
+    """
+    for attempt in range(24):
+        child = produce()
+        if child in pool:
+            continue
+        if child in proposed and attempt < 12:
+            continue
+        return child
+    fallback = None
+    for _ in range(24):
+        child = space.sample(rng)
+        if child in pool:
+            continue
+        if child not in proposed:
+            return child
+        if fallback is None:
+            fallback = child
+    if space.size <= _ENUMERABLE_SIZE:
+        for child in space.enumerate():
+            if child not in proposed and child not in pool:
+                return child
+    return fallback if fallback is not None else space.sample(rng)
+
+
 @dataclass
 class GenerationStats:
     """Per-generation progress record.
@@ -204,44 +299,19 @@ class EvolutionarySearch:
     # ------------------------------------------------------------------
     def _mutate(self, parent: DropoutConfig) -> DropoutConfig:
         """Flip each gene to a random admissible design with prob p."""
-        genes = list(parent)
-        for i, slot in enumerate(self.space.slots):
-            if self.rng.random() < self.config.mutation_prob:
-                genes[i] = slot.choices[self.rng.integers(len(slot.choices))]
-        return tuple(genes)
+        return mutate_config(self.space, self.rng, parent,
+                             self.config.mutation_prob)
 
     def _crossover(self, a: DropoutConfig, b: DropoutConfig) -> DropoutConfig:
         """Uniform crossover: each gene comes from a random parent."""
-        return tuple(
-            a[i] if self.rng.random() < 0.5 else b[i]
-            for i in range(self.space.num_slots)
-        )
+        return crossover_configs(self.space, self.rng, a, b)
 
     def _initial_population(self) -> List[DropoutConfig]:
-        """Random population; deduplicated when the space allows it.
-
-        When ``seed_uniform`` is set, the uniform baselines occupy the
-        first population slots.
-        """
-        population: List[DropoutConfig] = []
-        seen = set()
-        if self.config.seed_uniform:
-            for config in self.space.uniform_configs():
-                if len(population) >= self.config.population_size:
-                    break
-                population.append(config)
-                seen.add(config)
-        target = min(self.config.population_size, self.space.size)
-        attempts = 0
-        while len(population) < target and attempts < 50 * target:
-            candidate = self.space.sample(self.rng)
-            attempts += 1
-            if candidate not in seen:
-                seen.add(candidate)
-                population.append(candidate)
-        while len(population) < self.config.population_size:
-            population.append(self.space.sample(self.rng))
-        return population
+        """Random population via the shared :func:`initial_population`."""
+        return initial_population(
+            self.space, self.rng,
+            population_size=self.config.population_size,
+            seed_uniform=self.config.seed_uniform)
 
     #: Spaces up to this size get the deterministic coverage fallback.
     _ENUMERABLE_SIZE = 4096
@@ -250,35 +320,10 @@ class EvolutionarySearch:
                      proposed: set) -> DropoutConfig:
         """Draw a child, retrying to escape duplicates.
 
-        Prefers configurations this run has never proposed; falls back
-        to avoiding the current pool, and on small spaces sweeps the
-        remaining unproposed configurations deterministically so that a
-        budget exceeding the space size guarantees full coverage.  The
-        paper's sampling stage keeps drawing "until the candidate pool
-        reaches the predefined size" — this is the de-duplicated
-        version of that loop.
+        Delegates to the shared :func:`propose_novel` helper (also used
+        by the steady-state :mod:`repro.search.async_ea` loop).
         """
-        for attempt in range(24):
-            child = produce()
-            if child in pool:
-                continue
-            if child in proposed and attempt < 12:
-                continue
-            return child
-        fallback = None
-        for _ in range(24):
-            child = self.space.sample(self.rng)
-            if child in pool:
-                continue
-            if child not in proposed:
-                return child
-            if fallback is None:
-                fallback = child
-        if self.space.size <= self._ENUMERABLE_SIZE:
-            for child in self.space.enumerate():
-                if child not in proposed and child not in pool:
-                    return child
-        return fallback if fallback is not None else self.space.sample(self.rng)
+        return propose_novel(self.space, self.rng, produce, pool, proposed)
 
     # ------------------------------------------------------------------
     # Main loop

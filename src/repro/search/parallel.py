@@ -95,18 +95,33 @@ class ParallelEvaluator:
             start += size
         return shards
 
-    def evaluate(self, configs: Sequence[DropoutConfig]
-                 ) -> List[CandidateResult]:
-        """Evaluate ``configs`` across the pool, preserving input order.
+    def compute(self, configs: Sequence[DropoutConfig]
+                ) -> List[CandidateResult]:
+        """Compute ``configs`` across the pool, preserving input order.
 
-        Falls back to inline evaluation for degenerate inputs (one
-        candidate, one worker) where forking would only add overhead.
+        Pure computation: no cache lookups, stores or counter updates
+        happen here — the caller (normally
+        :meth:`~repro.search.evaluator.CandidateEvaluator.evaluate_batch`)
+        owns those.  Duplicate configurations are deduplicated *before*
+        sharding, so each distinct candidate is evaluated exactly once
+        no matter how often it occurs, and the results fan back out to
+        every occurrence.  Falls back to inline computation for
+        degenerate inputs (one distinct candidate, one worker) where
+        forking would only add overhead.
         """
         global _PARENT_EVALUATOR
         configs = [tuple(config) for config in configs]
-        if len(configs) <= 1 or self.num_workers <= 1:
-            return [self.evaluator._compute(config) for config in configs]
-        shards = self.shard(configs)
+        unique: List[DropoutConfig] = []
+        seen = set()
+        for config in configs:
+            if config not in seen:
+                seen.add(config)
+                unique.append(config)
+        if len(unique) <= 1 or self.num_workers <= 1:
+            by_config = {config: self.evaluator._compute(config)
+                         for config in unique}
+            return [by_config[config] for config in configs]
+        shards = self.shard(unique)
         context = multiprocessing.get_context("fork")
         _PARENT_EVALUATOR = self.evaluator
         try:
@@ -119,6 +134,20 @@ class ParallelEvaluator:
             for config, result in zip(shard, results):
                 by_config[config] = result
         return [by_config[config] for config in configs]
+
+    def evaluate(self, configs: Sequence[DropoutConfig]
+                 ) -> List[CandidateResult]:
+        """Cached evaluation of ``configs``, preserving input order.
+
+        Routed through the parent evaluator's
+        :meth:`~repro.search.evaluator.CandidateEvaluator.evaluate_batch`
+        store-and-count helper, so every path — pooled, inline
+        fallback, single-candidate degenerate case — updates the memo
+        and disk caches and the hit/miss counters identically to
+        per-candidate :meth:`~repro.search.evaluator.CandidateEvaluator.
+        evaluate` calls.
+        """
+        return self.evaluator.evaluate_batch(configs, compute=self.compute)
 
 
 __all__ = ["ParallelEvaluator"]

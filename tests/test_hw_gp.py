@@ -132,3 +132,51 @@ class TestValidation:
         assert np.isfinite(mean).all()
         assert np.isfinite(std).all()
         assert (std >= 0).all()
+
+
+class TestRefitDeterminism:
+    """Regression: refitting identical data must reproduce identical
+    hyperparameters — restart initializations derive from (construction
+    seed, data fingerprint), not from how many fits ran before."""
+
+    @staticmethod
+    def _data(seed, n=12):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, size=(n, 2))
+        y = np.sin(x[:, 0]) + 0.1 * x[:, 1]
+        return x, y
+
+    @staticmethod
+    def _state(gp):
+        return (gp.variance, tuple(gp.lengthscales), gp.noise,
+                gp.mean_const)
+
+    def test_fit_twice_identical(self):
+        x, y = self._data(0)
+        gp = GaussianProcessRegressor(n_restarts=2, rng=3)
+        first = self._state(gp.fit(x, y))
+        second = self._state(gp.fit(x, y))
+        assert first == second
+
+    def test_refit_after_other_data_identical(self):
+        """Interleaving a fit on other data must not perturb the
+        restart stream of a later refit on the original data."""
+        x, y = self._data(0)
+        other_x, other_y = self._data(1)
+        gp = GaussianProcessRegressor(n_restarts=2, rng=3)
+        first = self._state(gp.fit(x, y))
+        gp.fit(other_x, other_y)
+        again = self._state(gp.fit(x, y))
+        assert first == again
+        query = np.array([[0.3, -0.5], [1.0, 1.0]])
+        mean_a, std_a = gp.predict(query, return_std=True)
+        gp2 = GaussianProcessRegressor(n_restarts=2, rng=3).fit(x, y)
+        mean_b, std_b = gp2.predict(query, return_std=True)
+        assert (mean_a == mean_b).all()
+        assert (std_a == std_b).all()
+
+    def test_two_instances_same_seed_agree(self):
+        x, y = self._data(0)
+        a = GaussianProcessRegressor(n_restarts=3, rng=9).fit(x, y)
+        b = GaussianProcessRegressor(n_restarts=3, rng=9).fit(x, y)
+        assert self._state(a) == self._state(b)

@@ -258,3 +258,118 @@ class TestCrossRunDiskReuse:
         Runner(parallel_spec(1, name="solo"), store_root=root).run()
         assert "eval_cache" in os.listdir(root)
         assert len(EvaluationCache(os.path.join(root, "eval_cache"))) > 0
+
+
+class TestDuplicateDeduplication:
+    """Regression: duplicate configs must be computed once, not once
+    per occurrence, and the extra occurrences must count as hits."""
+
+    DUPLICATED = [("B", "B", "B"), ("M", "M", "M"), ("B", "B", "B"),
+                  ("M", "M", "M"), ("B", "B", "B")]
+
+    def evaluator(self, trained_supernet, mnist_splits, ood_small, *,
+                  num_workers=1):
+        return BatchedEvaluator(
+            trained_supernet, mnist_splits.val, ood_small,
+            num_mc_samples=2, eval_seed=5, num_workers=num_workers)
+
+    def test_inline_computes_each_unique_config_once(
+            self, trained_supernet, mnist_splits, ood_small,
+            monkeypatch):
+        evaluator = self.evaluator(trained_supernet, mnist_splits,
+                                   ood_small)
+        computed = []
+        original = type(evaluator)._compute
+
+        def counting_compute(self, config):
+            computed.append(config)
+            return original(self, config)
+
+        monkeypatch.setattr(type(evaluator), "_compute",
+                            counting_compute)
+        results = evaluator.evaluate_generation(self.DUPLICATED)
+        assert sorted(computed) == sorted(set(self.DUPLICATED))
+        assert evaluator.cache_misses == len(set(self.DUPLICATED))
+        assert evaluator.cache_hits \
+            == len(self.DUPLICATED) - len(set(self.DUPLICATED))
+        # Results still fan back out to every occurrence, in order.
+        for config, result in zip(self.DUPLICATED, results):
+            assert result.config == config
+
+    def test_pool_shards_only_unique_configs(self, trained_supernet,
+                                             mnist_splits, ood_small,
+                                             monkeypatch):
+        evaluator = self.evaluator(trained_supernet, mnist_splits,
+                                   ood_small, num_workers=2)
+        pool = ParallelEvaluator(evaluator, num_workers=2)
+        sharded = []
+        original_shard = ParallelEvaluator.shard
+
+        def spying_shard(self, configs):
+            sharded.append(list(configs))
+            return original_shard(self, configs)
+
+        monkeypatch.setattr(ParallelEvaluator, "shard", spying_shard)
+        results = pool.evaluate(self.DUPLICATED)
+        assert sharded == [[("B", "B", "B"), ("M", "M", "M")]]
+        assert [r.config for r in results] == self.DUPLICATED
+        assert evaluator.cache_misses == 2
+        assert evaluator.cache_hits == 3
+
+    def test_duplicates_match_serial_results(self, trained_supernet,
+                                             mnist_splits, ood_small):
+        serial = self.evaluator(trained_supernet, mnist_splits,
+                                ood_small)
+        pooled = self.evaluator(trained_supernet, mnist_splits,
+                                ood_small, num_workers=2)
+        expected = serial.evaluate_generation(self.DUPLICATED)
+        observed = pooled.evaluate_generation(self.DUPLICATED)
+        assert [r.to_dict() for r in observed] \
+            == [r.to_dict() for r in expected]
+        assert pooled.cache_hits == serial.cache_hits
+        assert pooled.cache_misses == serial.cache_misses
+
+
+class TestDegeneratePathCaching:
+    """Regression: the pool's degenerate inline path (one distinct
+    candidate / one worker) must store and count exactly like the
+    pooled path — it used to bypass the caches and the counters."""
+
+    def evaluator(self, trained_supernet, mnist_splits, ood_small,
+                  **kwargs):
+        return BatchedEvaluator(
+            trained_supernet, mnist_splits.val, ood_small,
+            num_mc_samples=2, eval_seed=5, num_workers=2, **kwargs)
+
+    def test_single_config_populates_memo_and_counters(
+            self, trained_supernet, mnist_splits, ood_small):
+        evaluator = self.evaluator(trained_supernet, mnist_splits,
+                                   ood_small)
+        pool = ParallelEvaluator(evaluator, num_workers=2)
+        first = pool.evaluate([("B", "M", "B")])
+        assert evaluator.cache_misses == 1
+        assert evaluator.cache_hits == 0
+        assert ("B", "M", "B") in evaluator.cache
+        second = pool.evaluate([("B", "M", "B")])
+        assert evaluator.cache_misses == 1
+        assert evaluator.cache_hits == 1
+        assert second[0].to_dict() == first[0].to_dict()
+
+    def test_single_config_writes_disk_cache(self, trained_supernet,
+                                             mnist_splits, ood_small,
+                                             tmp_path):
+        cache = EvaluationCache(str(tmp_path / "cache"))
+        evaluator = self.evaluator(trained_supernet, mnist_splits,
+                                   ood_small, disk_cache=cache,
+                                   cache_context="ctx")
+        ParallelEvaluator(evaluator, num_workers=2).evaluate(
+            [("B", "M", "B")])
+        assert cache.get("ctx", "B-M-B") is not None
+        # A fresh evaluator answers from disk: zero fresh computations.
+        fresh = self.evaluator(trained_supernet, mnist_splits,
+                               ood_small, disk_cache=cache,
+                               cache_context="ctx")
+        ParallelEvaluator(fresh, num_workers=2).evaluate(
+            [("B", "M", "B")])
+        assert fresh.cache_misses == 0
+        assert fresh.cache_hits == 1
