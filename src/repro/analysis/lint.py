@@ -37,6 +37,13 @@ rule                        fires on
                             in fingerprint/artifact modules — dict
                             order must never reach a hash or a
                             persisted byte stream.
+``broad-except``            ``except:`` / ``except Exception`` /
+                            ``except BaseException`` inside the
+                            serve/search stacks — handlers wide enough
+                            to swallow injected faults (and real ones)
+                            silently; catch the specific transport or
+                            shed errors, or annotate the survival
+                            points with ``# repro: allow[...]``.
 ==========================  ===========================================
 
 Findings are suppressed inline with ``# repro: allow[<rule>]`` on the
@@ -70,6 +77,7 @@ CRITICAL_MODULES = (
     "repro/nn/inference.py",
     "repro/search/evaluator.py",
     "repro/analysis/",
+    "repro/faults/",
 )
 
 #: Modules that hash or persist canonical byte streams;
@@ -88,6 +96,15 @@ FINGERPRINT_MODULES = (
 FORK_MODULES = (
     "repro/serve/",
     "repro/search/async_ea.py",
+)
+
+#: Fault-injected recovery domain; ``broad-except`` fires only here —
+#: a handler wide enough to swallow an injected fault would make the
+#: chaos suite (and real incidents) silently pass through it.
+BROAD_EXCEPT_MODULES = (
+    "repro/serve/",
+    "repro/search/",
+    "repro/faults/",
 )
 
 #: Functions allowed to repoint shared tensors (the sanctioned path).
@@ -123,6 +140,7 @@ RULES = (
     "unordered-float-sum",
     "fork-shared-mutation",
     "fingerprint-sort",
+    "broad-except",
 )
 
 
@@ -197,6 +215,7 @@ class _Visitor(ast.NodeVisitor):
         self._critical = _in_scope(path, CRITICAL_MODULES)
         self._fingerprint = _in_scope(path, FINGERPRINT_MODULES)
         self._fork = _in_scope(path, FORK_MODULES)
+        self._recovery = _in_scope(path, BROAD_EXCEPT_MODULES)
 
     # -- bookkeeping ---------------------------------------------------
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -310,6 +329,34 @@ class _Visitor(ast.NodeVisitor):
                 "iterating a set: order is unstable across processes "
                 "under hash randomization; iterate sorted(...) or an "
                 "ordered container")
+
+    # -- broad-except --------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._recovery:
+            self._check_broad_handler(node)
+        self.generic_visit(node)
+
+    def _check_broad_handler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "broad-except",
+                "bare except in a fault-injected recovery module: it "
+                "swallows injected faults (and real ones) silently; "
+                "catch the specific transport/shed errors")
+            return
+        types = (node.type.elts if isinstance(node.type, ast.Tuple)
+                 else [node.type])
+        for expr in types:
+            name = _dotted(expr)
+            if name in ("Exception", "BaseException",
+                        "builtins.Exception", "builtins.BaseException"):
+                self._report(
+                    node, "broad-except",
+                    f"except {name} in a fault-injected recovery "
+                    f"module: wide enough to swallow injected faults; "
+                    f"narrow the handler or annotate the survival "
+                    f"point with '# repro: allow[broad-except]'")
+                return
 
     # -- fork-shared-mutation ------------------------------------------
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -427,6 +474,7 @@ def render_findings(findings: Sequence[LintFinding]) -> str:
 
 
 __all__ = [
+    "BROAD_EXCEPT_MODULES",
     "CRITICAL_MODULES",
     "FINGERPRINT_MODULES",
     "FORK_MODULES",

@@ -25,18 +25,36 @@ store root reuse each other's evaluations instead of recomputing them.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import tempfile
+import zipfile
 from typing import Any, Dict, List, Optional
 
 import numpy as np
+
+from repro.faults.runtime import SITE_ARTIFACT_WRITE, SITE_CACHE_WRITE, fire
 
 #: Version stamped into every JSON artifact envelope.
 ARTIFACT_VERSION = 1
 
 _JSON_SUFFIX = ".json"
 _STATE_SUFFIX = ".npz"
+
+
+def _maybe_tear(site: str, payload: bytes) -> bytes:
+    """Apply a pending torn-write fault event at ``site``, if any.
+
+    Fires the site's injection hook; a ``torn_write`` event truncates
+    the payload to ``param`` (a fraction in ``[0, 1)``) of its bytes —
+    simulating a write the filesystem tore mid-publish, the exact
+    corruption the tolerant readers must degrade to a miss on.
+    """
+    event = fire(site)
+    if event is not None and event.kind == "torn_write":
+        return payload[:int(len(payload) * float(event.param))]
+    return payload
 
 
 def atomic_write(path: str, writer) -> None:
@@ -130,7 +148,9 @@ class ArtifactStore:
         }
         text = json.dumps(document, indent=2, sort_keys=True)
         path = self.path(name + _JSON_SUFFIX)
-        self._atomic_write_bytes(path, (text + "\n").encode("utf-8"))
+        payload_bytes = _maybe_tear(SITE_ARTIFACT_WRITE,
+                                    (text + "\n").encode("utf-8"))
+        self._atomic_write_bytes(path, payload_bytes)
         return path
 
     def load_json(self, name: str) -> Any:
@@ -152,6 +172,19 @@ class ArtifactStore:
                 f"artifact {name!r} has an unsupported envelope")
         return document["payload"]
 
+    def try_load_json(self, name: str) -> Optional[Any]:
+        """:meth:`load_json`, degrading any failure to ``None``.
+
+        The resume-path reader: an absent, torn or corrupt artifact is
+        indistinguishable from "never written" — the caller recomputes
+        instead of crashing (and never sees stale or partial data,
+        because the envelope check runs on whatever did parse).
+        """
+        try:
+            return self.load_json(name)
+        except ArtifactError:
+            return None
+
     def list_artifacts(self) -> List[str]:
         """Names of all JSON artifacts in the store, sorted."""
         if not os.path.isdir(self.root):
@@ -171,11 +204,20 @@ class ArtifactStore:
         """Persist a ``state_dict``-style mapping of arrays."""
         self._ensure_root()
         path = self.path(name + _STATE_SUFFIX)
-        atomic_write(path, lambda fh: np.savez(fh, **state))
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)
+        payload = _maybe_tear(SITE_ARTIFACT_WRITE, buffer.getvalue())
+        atomic_write_bytes(path, payload)
         return path
 
     def load_state(self, name: str) -> Dict[str, np.ndarray]:
-        """Load an array mapping saved by :meth:`save_state`."""
+        """Load an array mapping saved by :meth:`save_state`.
+
+        Raises :class:`ArtifactError` on absent *and* on torn/corrupt
+        containers (truncated zip directories, damaged members) — a
+        half-written state file must never surface as a raw
+        ``zipfile``/``numpy`` exception or, worse, partial arrays.
+        """
         path = self.path(name + _STATE_SUFFIX)
         try:
             with np.load(path) as data:
@@ -183,6 +225,22 @@ class ArtifactStore:
         except FileNotFoundError:
             raise ArtifactError(f"state artifact {name!r} not found in "
                                 f"{self.root}") from None
+        except (OSError, ValueError, EOFError, KeyError,
+                zipfile.BadZipFile) as exc:
+            raise ArtifactError(f"state artifact {name!r} is corrupt: "
+                                f"{exc}") from exc
+
+    def try_load_state(self, name: str) -> Optional[Dict[str, np.ndarray]]:
+        """:meth:`load_state`, degrading any failure to ``None``.
+
+        Resume paths treat a torn weights file as a cache miss and
+        retrain rather than crash — see ``tests/test_artifacts_torn.py``
+        for the every-byte-boundary truncation sweep.
+        """
+        try:
+            return self.load_state(name)
+        except ArtifactError:
+            return None
 
     def delete_state(self, name: str) -> bool:
         """Remove array artifact ``name``; True if it existed."""
@@ -275,7 +333,9 @@ class EvaluationCache:
             "payload": payload,
         }
         text = json.dumps(document, indent=2, sort_keys=True)
-        atomic_write_bytes(path, (text + "\n").encode("utf-8"))
+        payload_bytes = _maybe_tear(SITE_CACHE_WRITE,
+                                    (text + "\n").encode("utf-8"))
+        atomic_write_bytes(path, payload_bytes)
         return path
 
     def __len__(self) -> int:

@@ -505,9 +505,19 @@ class ExperimentSpec:
 
     @classmethod
     def load(cls, path: str) -> "ExperimentSpec":
-        """Read a JSON spec file."""
-        with open(path, "r", encoding="utf-8") as fh:
-            return cls.from_json(fh.read())
+        """Read a JSON spec file.
+
+        Raises :class:`SpecError` (not a raw ``OSError``/decode error)
+        when the file is missing, unreadable or not valid UTF-8 — the
+        CLI surfaces that as a clean usage error.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SpecError(f"cannot read spec file {path!r}: "
+                            f"{exc}") from exc
+        return cls.from_json(text)
 
     # ------------------------------------------------------------------
     # Identity / derived configuration

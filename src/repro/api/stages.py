@@ -197,9 +197,12 @@ def ensure_evaluator(ctx: PipelineContext,
             cache_context=ctx.spec.evaluation_fingerprint(),
             num_workers=ctx.spec.num_workers)
         if ctx.store is not None and ctx.store.has(SearchStage.CACHE):
-            cached = [CandidateResult.from_dict(entry)
-                      for entry in ctx.store.load_json(SearchStage.CACHE)]
-            ctx.evaluator.preload(cached)
+            # Tolerant read: a torn cache artifact degrades to an empty
+            # preload (candidates recompute) instead of a crashed run.
+            entries = ctx.store.try_load_json(SearchStage.CACHE)
+            if entries is not None:
+                ctx.evaluator.preload([CandidateResult.from_dict(entry)
+                                       for entry in entries])
     return ctx.evaluator
 
 
@@ -430,8 +433,15 @@ class TrainStage(Stage):
         store = ctx.store
         if not (store.has(self.ARTIFACT) and store.has_state(self.WEIGHTS)):
             return False
-        ctx.supernet.load_state_dict(store.load_state(self.WEIGHTS))
-        ctx.train_log = TrainLog.from_dict(store.load_json(self.ARTIFACT))
+        # Tolerant reads: a torn weights or log artifact means "not
+        # trained yet" — retrain rather than crash or load partial
+        # state (both artifacts must load whole to resume).
+        weights = store.try_load_state(self.WEIGHTS)
+        log_payload = store.try_load_json(self.ARTIFACT)
+        if weights is None or log_payload is None:
+            return False
+        ctx.supernet.load_state_dict(weights)
+        ctx.train_log = TrainLog.from_dict(log_payload)
         ctx.resumed.add(self.name)
         return True
 
@@ -503,8 +513,13 @@ class SearchStage(Stage):
         algorithm = ctx.spec.search.algorithm
         if ctx.store is not None:
             name = self.artifact_name(aim_obj.name)
-            if ctx.store.has(name):
-                payload = ctx.store.load_json(name)
+            # Tolerant read: a torn search artifact re-searches (the
+            # evaluation cache makes the redo cheap) instead of
+            # crashing the resumed run.
+            payload = (ctx.store.try_load_json(name)
+                       if ctx.store.has(name) else None)
+            if (isinstance(payload, dict) and "result" in payload
+                    and "seconds" in payload):
                 result_cls = (AsyncSearchResult
                               if payload.get("algorithm") == "async_ea"
                               else SearchResult)

@@ -12,7 +12,12 @@ Built on the :mod:`repro.api` experiment layer.  Five commands:
 * ``serve`` — drive the async micro-batching uncertainty service over
   an exported deployment (``--smoke`` answers one request and exits;
   ``--backend fixed`` serves through the compiled integer kernel;
-  ``--replicas N`` shards fused batches across N forked workers);
+  ``--replicas N`` shards fused batches across N forked workers;
+  ``--deadline-ms``/``--fault-plan`` exercise the degradation ladder);
+* ``chaos`` — soak the serving stack under a deterministic fault plan
+  and gate on the resilience invariants: no dropped futures,
+  byte-identity to fault-free serving, honest shed accounting and an
+  identical fired-event log on every rerun (exit 1 on any violation);
 * ``compile`` — lower a deployment to the executable fixed-point
   kernel, statically certify its accumulators against int64 overflow,
   and print its measured float-vs-fixed fidelity report;
@@ -35,6 +40,9 @@ Examples::
     python -m repro.cli lint src/
     python -m repro.cli serve --deployment deploy/ --backend fixed
     python -m repro.cli serve --deployment deploy/ --replicas 4
+    python -m repro.cli chaos --deployment deploy/ --replicas 2
+    python -m repro.cli chaos --deployment deploy/ --emit-plan plan.json
+    python -m repro.cli serve --deployment deploy/ --fault-plan plan.json
     python -m repro.cli search --model lenet_slim --dataset mnist_like \\
         --image-size 16 --aims accuracy latency
     python -m repro.cli generate --config B-K-M --outdir gen/
@@ -159,6 +167,68 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-shard timeout before a replica is "
                               "declared wedged and respawned "
                               "(default: 30)")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline budget; requests "
+                              "still queued past it are shed with "
+                              "DeadlineExceeded (default: none)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                         help="JSON fault plan (see `repro chaos "
+                              "--emit-plan`) to replay against the "
+                              "serving stack while it runs")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="soak the serving stack under a deterministic fault plan")
+    chsource = p_chaos.add_mutually_exclusive_group(required=True)
+    chsource.add_argument("--deployment", metavar="DIR",
+                          help="deployment directory (from "
+                               "`run --export-deployment`)")
+    chsource.add_argument("--run-dir", metavar="DIR",
+                          help="finished run directory to deploy directly "
+                               "(<store>/<run_id>)")
+    p_chaos.add_argument("--aim", default=None,
+                         help="searched aim to deploy (with --run-dir)")
+    p_chaos.add_argument("--plan", default=None, metavar="FILE",
+                         help="JSON fault plan to replay (default: the "
+                              "pinned standard plan)")
+    p_chaos.add_argument("--plan-seed", type=int, default=0,
+                         help="seed of the standard/generated plan "
+                              "(ignored with --plan; default: 0)")
+    p_chaos.add_argument("--generate-plan", action="store_true",
+                         help="soak under a seed-generated plan instead "
+                              "of the pinned standard plan")
+    p_chaos.add_argument("--emit-plan", default=None, metavar="FILE",
+                         help="write the soak's fault plan as JSON and "
+                              "exit without serving")
+    p_chaos.add_argument("--requests", type=int, default=24,
+                         help="concurrent soak requests (default: 24)")
+    p_chaos.add_argument("--rows", type=int, default=4,
+                         help="rows per request = rows per fused batch "
+                              "(default: 4)")
+    p_chaos.add_argument("--replicas", type=int, default=2,
+                         help="forked workers behind the batcher "
+                              "(default: 2)")
+    p_chaos.add_argument("--backend", choices=["float", "fixed"],
+                         default="float",
+                         help="serving backend under test (default: float)")
+    p_chaos.add_argument("--samples", type=int, default=None,
+                         help="Monte-Carlo passes T (default: the "
+                              "deployment spec's mc_samples)")
+    p_chaos.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline budget for the soak "
+                              "traffic (default: none)")
+    p_chaos.add_argument("--replica-timeout-s", type=float, default=2.0,
+                         help="per-shard timeout; small so wedged "
+                              "replicas recover promptly (default: 2)")
+    p_chaos.add_argument("--timeout-s", type=float, default=120.0,
+                         help="wall bound on the request wave; futures "
+                              "unresolved past it count as dropped "
+                              "(default: 120)")
+    p_chaos.add_argument("--repeat", type=int, default=2,
+                         help="soak runs; fired-event logs must be "
+                              "identical across all of them (default: 2)")
+    p_chaos.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the chaos report as JSON")
 
     p_compile = sub.add_parser(
         "compile",
@@ -413,10 +483,23 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 async def _drive_service(service, requests: List[np.ndarray]):
-    """Submit ``requests`` concurrently; return their posteriors."""
+    """Submit ``requests`` concurrently; return posteriors or sheds.
+
+    Shed errors (deadline, admission, backpressure) come back in the
+    result list instead of aborting the whole demo wave — under a
+    fault plan or a tight deadline, shedding is expected behavior.
+    """
+    from repro.serve import ShedError
+
     async with service:
-        return await asyncio.gather(
-            *(service.predict(images) for images in requests))
+        outcomes = await asyncio.gather(
+            *(service.predict(images) for images in requests),
+            return_exceptions=True)
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException) and not isinstance(
+                outcome, ShedError):
+            raise outcome
+    return outcomes
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -437,6 +520,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store = ArtifactStore(args.deployment)
         if store.has(KERNEL_ARTIFACT):
             kernel = load_kernel(store, deployment)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+        fault_plan = FaultPlan.load(args.fault_plan)
     num_requests = 1 if args.smoke else max(1, args.requests)
     rng = np.random.default_rng(args.seed)
     requests = [
@@ -452,7 +539,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         kernel=kernel,
         replicas=max(0, args.replicas),
-        replica_timeout_s=args.replica_timeout_s)
+        replica_timeout_s=args.replica_timeout_s,
+        deadline_ms=args.deadline_ms,
+        fault_plan=fault_plan)
     # service.engine is None on the fixed backend: no float MC engine
     # runs there, and pretending one does misleads operators.
     print(f"deployment: model={deployment.spec.model} "
@@ -465,6 +554,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{deployment.fixed_point.fraction_bits}>")
     posteriors = asyncio.run(_drive_service(service, requests))
     for index, posterior in enumerate(posteriors):
+        if isinstance(posterior, BaseException):
+            print(f"request {index}: SHED "
+                  f"({type(posterior).__name__}: {posterior})")
+            continue
         print(f"request {index}: class={int(posterior.predictions[0])} "
               f"entropy={float(posterior.predictive_entropy[0]):.4f} "
               f"mutual_info={float(posterior.mutual_information[0]):.4f}")
@@ -474,19 +567,104 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{stats['coalesce_ratio']:.2f}, "
           f"p50={stats['latency_p50_ms']:.1f}ms "
           f"p99={stats['latency_p99_ms']:.1f}ms")
+    # The degradation ladder, one honest line: every distinct way the
+    # service sheds load, plus the breaker's verdict on the pool.
+    breaker = stats.get("breaker") or {}
+    print(f"degradation: degraded={stats['degraded']} "
+          f"rejected={stats['rejected']} "
+          f"shed_deadline={stats['shed_deadline']} "
+          f"shed_load={stats['shed_load']} "
+          f"shed_stopped={stats['shed_stopped']} "
+          f"breaker={breaker.get('state', 'n/a')} "
+          f"trips={breaker.get('trips', 0)} "
+          f"fallbacks={stats['breaker_fallbacks']}")
+    injector = stats.get("fault_injector")
+    if injector:
+        print(f"fault plan: fired={injector['fired']} "
+              f"pending={injector['pending']}")
+        for site, visit, kind, param in injector["events"]:
+            print(f"  fired {kind}@{site} visit={visit} param={param}")
     pool = stats.get("replicas")
     if pool:
         # Stats render after the graceful drain, when every worker has
         # been reaped on purpose — DEAD only means dead mid-flight.
         workers = ", ".join(
-            f"#{w['index']}:{w['shards']} shard(s)"
+            f"#{w['index']}:{w['shards']} shard(s) "
+            f"q={w['queue_depth']}/{w['peak_queue_depth']}"
             f"{' DEAD' if pool['running'] and not w['alive'] else ''}"
             for w in pool["workers"])
         print(f"replica pool: axis={pool['axis']} "
               f"shared={pool['shared_bytes']} bytes "
               f"redispatches={pool['redispatches']} "
+              f"injected_faults={pool['injected_faults']} "
               f"fallbacks={pool['fallbacks']} [{workers}]")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    # Lazy imports, mirroring cmd_serve: chaos builds on the serving
+    # stack, which the other subcommands never need.
+    from repro.faults import chaos
+    from repro.faults.plan import FaultPlan
+    from repro.serve import Deployment
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    elif args.generate_plan:
+        plan = FaultPlan.generate(args.plan_seed)
+    else:
+        plan = FaultPlan.standard_plan(args.plan_seed)
+    if args.emit_plan:
+        plan.save(args.emit_plan)
+        print(f"wrote fault plan ({len(plan.events)} event(s)) to "
+              f"{args.emit_plan}")
+        return 0
+    if args.deployment:
+        deployment = Deployment.load(args.deployment)
+    else:
+        deployment = Deployment.from_run(args.run_dir, aim=args.aim)
+
+    repeats = max(1, args.repeat)
+    reports = []
+    for round_index in range(repeats):
+        reports.append(chaos.run_soak(
+            deployment, plan,
+            requests=args.requests, rows=args.rows,
+            replicas=max(0, args.replicas), backend=args.backend,
+            num_samples=args.samples, deadline_ms=args.deadline_ms,
+            replica_timeout_s=args.replica_timeout_s,
+            timeout_s=args.timeout_s))
+    report = reports[0]
+    replay_ok = all(rep.event_log == report.event_log
+                    for rep in reports[1:])
+    if not replay_ok:
+        report.violations.append(
+            "fired-event logs diverged across --repeat soak runs — the "
+            "fault schedule is not deterministic")
+    ok = report.ok and all(rep.ok for rep in reports)
+
+    if args.as_json:
+        payload = report.to_dict()
+        payload["ok"] = ok
+        payload["repeat"] = repeats
+        payload["replay_identical"] = replay_ok
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(f"chaos soak: {args.requests} request(s) x {repeats} run(s), "
+          f"{len(plan.events)} planned fault(s), replicas="
+          f"{max(0, args.replicas)}")
+    print(f"outcomes: completed={report.completed} "
+          f"shed={report.shed} dropped={report.dropped} "
+          f"mismatched={report.mismatched}")
+    print(f"faults: fired={report.fired} pending={report.pending} "
+          f"replay_identical={replay_ok}")
+    for site, visit, kind, param in report.event_log:
+        print(f"  fired {kind}@{site} visit={visit} param={param}")
+    for rep in reports:
+        for violation in rep.violations:
+            print(f"VIOLATION: {violation}")
+    print(f"invariants: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -600,6 +778,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": cmd_run,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "compile": cmd_compile,
     "verify-kernel": cmd_verify_kernel,
     "lint": cmd_lint,

@@ -1,0 +1,61 @@
+"""Deterministic fault injection for the serve/search stack.
+
+``repro.faults`` turns failure into a first-class, replayable input:
+
+* :mod:`repro.faults.plan` — seeded :class:`~repro.faults.plan.FaultPlan`
+  / :class:`~repro.faults.plan.FaultInjector`: *which* faults fire,
+  *when* (per-site visit counters, never the clock), JSON-pinnable.
+* :mod:`repro.faults.runtime` — the named hook points (``SITE_*``) and
+  the process-global :func:`~repro.faults.runtime.fire` call that
+  production code embeds; a no-op unless an injector is installed.
+* :mod:`repro.faults.chaos` — the soak harness behind ``repro chaos``:
+  replays a plan against a live :class:`~repro.serve.UncertaintyService`
+  and asserts the degradation invariants (zero dropped futures,
+  byte-identical responses, reproducible event logs).
+
+``chaos`` imports the serving stack and is intentionally *not*
+imported here — the plan/runtime layers stay dependency-free so any
+subsystem can hook in without cycles.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    SITE_KINDS,
+)
+from repro.faults.runtime import (
+    SITES,
+    SITE_ARTIFACT_WRITE,
+    SITE_ASYNC_DISPATCH,
+    SITE_CACHE_WRITE,
+    SITE_PARALLEL_EVAL,
+    SITE_REPLICA_DISPATCH,
+    active,
+    deactivate,
+    fire,
+    injected,
+    install,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "SITE_KINDS",
+    "SITES",
+    "SITE_ARTIFACT_WRITE",
+    "SITE_ASYNC_DISPATCH",
+    "SITE_CACHE_WRITE",
+    "SITE_PARALLEL_EVAL",
+    "SITE_REPLICA_DISPATCH",
+    "active",
+    "deactivate",
+    "fire",
+    "injected",
+    "install",
+]

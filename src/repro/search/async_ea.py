@@ -47,6 +47,9 @@ from __future__ import annotations
 import bisect
 import math
 import multiprocessing
+import os
+import signal
+import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -56,6 +59,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.faults.runtime import SITE_ASYNC_DISPATCH, fire
 from repro.search.evaluator import CandidateEvaluator, CandidateResult
 from repro.search.evolution import (
     EvolutionConfig,
@@ -295,13 +299,32 @@ def rung_evaluator(base: CandidateEvaluator,
 _WORKER_EVALUATORS: Optional[List[CandidateEvaluator]] = None
 
 
+@dataclass(frozen=True)
+class _TaskFault:
+    """Picklable report of a task that raised inside a worker.
+
+    Workers must not crash on an evaluation exception: a fault injected
+    deterministically at dispatch would otherwise kill the respawned
+    worker identically forever (the fork inherits the parent's injector
+    state, so the child cannot advance it).  Instead the fault is
+    *reported* and the parent — whose injector has moved on — retries
+    the pure computation inline, producing the bit-identical result the
+    worker would have.
+    """
+
+    message: str
+
+
 def _worker_loop(conn) -> None:
-    """Worker entry point: serve ``(task_id, rung, config)`` requests.
+    """Worker entry: serve ``(task_id, rung, config, inject)`` requests.
 
     Runs in a forked child; ``_WORKER_EVALUATORS`` is the parent's
     evaluator ladder (private copy-on-write copy).  Workers are
     compute-only — all cache stores and counters stay in the parent —
-    and exit on the ``None`` sentinel.
+    and exit on the ``None`` sentinel.  An evaluation that raises
+    (including an injected transient error, flagged by ``inject``)
+    reports a :class:`_TaskFault` instead of crashing; the parent
+    recomputes inline.
     """
     evaluators = _WORKER_EVALUATORS
     if evaluators is None:  # pragma: no cover - defensive
@@ -310,8 +333,13 @@ def _worker_loop(conn) -> None:
         item = conn.recv()
         if item is None:
             return
-        task_id, rung, config = item
-        result = evaluators[rung]._compute(config)
+        task_id, rung, config, inject = item
+        try:
+            if inject:
+                raise RuntimeError("injected transient evaluation error")
+            result = evaluators[rung]._compute(config)
+        except Exception as exc:  # repro: allow[broad-except] — reported, parent retries inline
+            result = _TaskFault(f"{type(exc).__name__}: {exc}")
         conn.send((task_id, result))
 
 
@@ -322,6 +350,8 @@ class _ForkWorker:
     process: multiprocessing.process.BaseProcess
     conn: object
     busy: Optional[Tuple[int, int, DropoutConfig]] = None
+    #: ``time.monotonic()`` at last dispatch — drives wedge detection.
+    dispatched_at: float = 0.0
 
 
 class _InlineExecutor:
@@ -329,15 +359,20 @@ class _InlineExecutor:
 
     Used when only one worker is requested or ``fork`` is unavailable;
     tasks complete in submission (= task-id) order, which makes the
-    fold loop trivially identical to the pooled path.
+    fold loop trivially identical to the pooled path.  The dispatch
+    fault site still fires (``error`` events surface as
+    :class:`_TaskFault`); ``kill``/``wedge`` events are no-ops — there
+    is no worker process to kill.
     """
 
     deaths = 0
     redispatches = 0
+    wedge_recoveries = 0
 
     def __init__(self, evaluators: Sequence[CandidateEvaluator]) -> None:
         self._evaluators = list(evaluators)
         self._queue: deque = deque()
+        self.injected_faults = 0
 
     def submit(self, task_id: int, rung: int,
                config: DropoutConfig) -> None:
@@ -345,6 +380,10 @@ class _InlineExecutor:
 
     def next_result(self) -> Tuple[int, CandidateResult]:
         task_id, rung, config = self._queue.popleft()
+        event = fire(SITE_ASYNC_DISPATCH)
+        if event is not None and event.kind == "error":
+            self.injected_faults += 1
+            return task_id, _TaskFault("injected transient evaluation error")
         return task_id, self._evaluators[rung]._compute(config)
 
     def close(self) -> None:
@@ -357,15 +396,23 @@ class _ForkExecutor:
     One outstanding task per worker; excess submissions queue in the
     parent and dispatch as workers free up.  Recovery: a worker that
     dies mid-task (pipe EOF, or liveness poll after a receive timeout)
-    is respawned by a fresh fork and its task re-dispatched.  The
-    parent never counts or stores anything here — it only moves tasks.
+    is respawned by a fresh fork and its task re-dispatched; a worker
+    *silent* past ``wedge_timeout_s`` (e.g. SIGSTOPped) is killed and
+    recovered the same way.  The parent never counts or stores
+    anything here — it only moves tasks.
+
+    Fault injection is parent-side: :data:`SITE_ASYNC_DISPATCH` fires
+    once per dispatch, and the *parent* applies the event (SIGKILL /
+    SIGSTOP the worker, or flag the task for an injected evaluation
+    error) so the injector's visit counters stay in one process.
     """
 
     #: Receive-poll window; each timeout triggers a liveness sweep.
     POLL_S = 0.2
 
     def __init__(self, evaluators: Sequence[CandidateEvaluator],
-                 num_workers: int, fault_hook=None) -> None:
+                 num_workers: int, fault_hook=None,
+                 wedge_timeout_s: Optional[float] = 30.0) -> None:
         self._evaluators = list(evaluators)
         self._ctx = multiprocessing.get_context("fork")
         self._backlog: deque = deque()
@@ -373,6 +420,10 @@ class _ForkExecutor:
         self._dispatches = 0
         self.deaths = 0
         self.redispatches = 0
+        self.injected_faults = 0
+        self.wedge_recoveries = 0
+        self.wedge_timeout_s = (None if wedge_timeout_s is None
+                                else float(wedge_timeout_s))
         self._workers = [self._spawn() for _ in range(int(num_workers))]
 
     @staticmethod
@@ -410,11 +461,33 @@ class _ForkExecutor:
             if not worker.process.is_alive():
                 self._respawn(worker)
             task = self._backlog.popleft()
-            worker.conn.send(task)
+            event = fire(SITE_ASYNC_DISPATCH)
+            inject_error = event is not None and event.kind == "error"
+            worker.conn.send(task + (inject_error,))
             worker.busy = task
+            worker.dispatched_at = time.monotonic()
             self._dispatches += 1
+            if event is not None:
+                self._inject(event, worker)
             if self._fault_hook is not None:
                 self._fault_hook(self._dispatches, worker)
+
+    def _inject(self, event, worker: _ForkWorker) -> None:
+        """Apply one fault event to a freshly dispatched worker.
+
+        ``kill`` SIGKILLs the worker (the liveness sweep recovers and
+        re-dispatches its task); ``wedge`` SIGSTOPs it (the wedge
+        timeout recovers it); ``error`` was already flagged into the
+        dispatched tuple.  Re-dispatch is a *new* visit at this site,
+        so a deterministic event never re-fires on the retry.
+        """
+        self.injected_faults += 1
+        if event.kind in ("kill", "wedge"):
+            sig = signal.SIGKILL if event.kind == "kill" else signal.SIGSTOP
+            try:
+                os.kill(worker.process.pid, sig)
+            except ProcessLookupError:  # pragma: no cover - already gone
+                pass
 
     def _respawn(self, worker: _ForkWorker) -> None:
         """Replace a dead worker's process and pipe in place."""
@@ -450,9 +523,22 @@ class _ForkExecutor:
             ready = mp_connection.wait([w.conn for w in busy],
                                        timeout=self.POLL_S)
             if not ready:
-                # Timeout: sweep for workers that died mid-task.
+                # Timeout: sweep for workers that died mid-task, and
+                # for wedged ones (alive but silent past the timeout —
+                # e.g. SIGSTOPped): those are killed then recovered.
+                now = time.monotonic()
                 for worker in busy:
                     if not worker.process.is_alive():
+                        self._recover(worker)
+                    elif (self.wedge_timeout_s is not None and
+                          now - worker.dispatched_at
+                          > self.wedge_timeout_s):
+                        self.wedge_recoveries += 1
+                        try:
+                            os.kill(worker.process.pid, signal.SIGKILL)
+                        except ProcessLookupError:  # pragma: no cover
+                            pass
+                        worker.process.join(timeout=1.0)
                         self._recover(worker)
                 continue
             for conn in ready:
@@ -506,13 +592,18 @@ class AsyncEvolutionarySearch:
         fault_hook: test-only callable ``(dispatch_index, worker)``
             invoked after each pooled dispatch; used by the
             worker-death recovery suite to kill workers mid-queue.
+            (Seeded plans use :mod:`repro.faults` instead.)
+        wedge_timeout_s: a pooled worker silent this long after its
+            dispatch is presumed wedged — killed and its task
+            re-dispatched.  ``None`` disables wedge detection.
     """
 
     def __init__(self, evaluator: CandidateEvaluator, aim: SearchAim, *,
                  config: Optional[AsyncEAConfig] = None,
                  rng: SeedLike = None,
                  num_workers: Optional[int] = None,
-                 fault_hook=None) -> None:
+                 fault_hook=None,
+                 wedge_timeout_s: Optional[float] = 30.0) -> None:
         self.evaluator = evaluator
         self.aim = aim
         self.config = config or AsyncEAConfig()
@@ -528,6 +619,10 @@ class AsyncEvolutionarySearch:
                 "reproduce the inline path's mask streams bit-exactly")
         self.num_workers = int(num_workers)
         self._fault_hook = fault_hook
+        self.wedge_timeout_s = wedge_timeout_s
+        #: Tasks whose worker reported an evaluation fault and whose
+        #: result was recomputed inline by the parent.
+        self.fault_retries = 0
         #: Evaluator ladder: one private evaluator per screening rung,
         #: then the caller's full-fidelity evaluator.
         self.rung_evaluators: List[CandidateEvaluator] = [
@@ -716,7 +811,8 @@ class AsyncEvolutionarySearch:
     def _make_executor(self):
         if self.num_workers > 1 and _ForkExecutor.available():
             return _ForkExecutor(self.rung_evaluators, self.num_workers,
-                                 fault_hook=self._fault_hook)
+                                 fault_hook=self._fault_hook,
+                                 wedge_timeout_s=self.wedge_timeout_s)
         return _InlineExecutor(self.rung_evaluators)
 
     def run(self) -> AsyncSearchResult:
@@ -771,6 +867,14 @@ class AsyncEvolutionarySearch:
                 # by both a presumed-dead worker and its re-dispatch):
                 # only the first completion of a live task id lands.
                 if task_id >= self._next_fold and task_id not in self._done:
+                    if isinstance(result, _TaskFault):
+                        # A worker reported (not crashed on) an
+                        # evaluation fault; recompute the pure result
+                        # inline — bit-identical, trajectory unchanged.
+                        config, rung = self._tasks[task_id]
+                        result = self.rung_evaluators[rung]._compute(
+                            config)
+                        self.fault_retries += 1
                     self._done[task_id] = result
         finally:
             self._executor.close()

@@ -29,8 +29,10 @@ Design notes:
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.faults.runtime import SITE_PARALLEL_EVAL, fire
 from repro.search.evaluator import CandidateEvaluator, CandidateResult
 from repro.search.space import DropoutConfig
 from repro.utils.validation import check_positive_int
@@ -40,19 +42,44 @@ from repro.utils.validation import check_positive_int
 _PARENT_EVALUATOR: Optional[CandidateEvaluator] = None
 
 
-def _evaluate_shard(shard: Sequence[DropoutConfig]
-                    ) -> List[CandidateResult]:
+@dataclass(frozen=True)
+class _ShardFault:
+    """Picklable per-candidate failure report from a pooled worker.
+
+    A candidate whose evaluation raised (or was flagged for an injected
+    transient error by the parent) comes back as this sentinel rather
+    than crashing the shard; the parent retries the pure computation
+    inline, so one bad candidate never costs its shard-mates' results.
+    """
+
+    message: str
+
+
+def _evaluate_shard(payload: Tuple[Sequence[DropoutConfig],
+                                   FrozenSet[int]]) -> List[object]:
     """Worker entry point: compute one shard of configurations.
 
     Runs in a forked child, so ``_PARENT_EVALUATOR`` is the parent's
     evaluator object (private copy-on-write copy); ``_compute``
     reseeds per candidate, making the child's results identical to
-    what the parent would have computed inline.
+    what the parent would have computed inline.  ``payload`` is
+    ``(shard, poisoned)``: candidates at the poisoned local indices
+    raise an injected transient error.  Any per-candidate exception is
+    reported as :class:`_ShardFault` in that candidate's slot.
     """
     evaluator = _PARENT_EVALUATOR
     if evaluator is None:  # pragma: no cover - defensive
         raise RuntimeError("worker forked without a parent evaluator")
-    return [evaluator._compute(config) for config in shard]
+    shard, poisoned = payload
+    results: List[object] = []
+    for index, config in enumerate(shard):
+        try:
+            if index in poisoned:
+                raise RuntimeError("injected transient evaluation error")
+            results.append(evaluator._compute(config))
+        except Exception as exc:  # repro: allow[broad-except] — reported, parent retries inline
+            results.append(_ShardFault(f"{type(exc).__name__}: {exc}"))
+    return results
 
 
 class ParallelEvaluator:
@@ -76,6 +103,10 @@ class ParallelEvaluator:
                 "evaluator")
         self.evaluator = evaluator
         self.num_workers = int(num_workers)
+        #: Candidates recomputed inline after a worker-side fault.
+        self.fault_retries = 0
+        #: Faults injected at :data:`SITE_PARALLEL_EVAL` so far.
+        self.injected_faults = 0
 
     @staticmethod
     def available() -> bool:
@@ -108,6 +139,14 @@ class ParallelEvaluator:
         every occurrence.  Falls back to inline computation for
         degenerate inputs (one distinct candidate, one worker) where
         forking would only add overhead.
+
+        Resilience: the parent fires :data:`SITE_PARALLEL_EVAL` once
+        per distinct candidate (keeping injector state parent-side);
+        ``error`` events poison that candidate inside its shard, and
+        any candidate a worker reports as failed — injected or real —
+        is recomputed inline by the parent.  Evaluation is a pure
+        function of the configuration, so the retried result is
+        bit-identical and the returned list never contains sentinels.
         """
         global _PARENT_EVALUATOR
         configs = [tuple(config) for config in configs]
@@ -117,21 +156,40 @@ class ParallelEvaluator:
             if config not in seen:
                 seen.add(config)
                 unique.append(config)
+        poisoned_configs = set()
+        for config in unique:
+            event = fire(SITE_PARALLEL_EVAL)
+            if event is not None and event.kind == "error":
+                self.injected_faults += 1
+                poisoned_configs.add(config)
         if len(unique) <= 1 or self.num_workers <= 1:
-            by_config = {config: self.evaluator._compute(config)
-                         for config in unique}
+            by_config = {}
+            for config in unique:
+                if config in poisoned_configs:
+                    # Injected fault on the inline path: the "retry"
+                    # is the same pure computation, done immediately.
+                    self.fault_retries += 1
+                by_config[config] = self.evaluator._compute(config)
             return [by_config[config] for config in configs]
         shards = self.shard(unique)
+        payloads = [
+            (shard, frozenset(index for index, config in enumerate(shard)
+                              if config in poisoned_configs))
+            for shard in shards
+        ]
         context = multiprocessing.get_context("fork")
         _PARENT_EVALUATOR = self.evaluator
         try:
             with context.Pool(processes=len(shards)) as pool:
-                shard_results = pool.map(_evaluate_shard, shards)
+                shard_results = pool.map(_evaluate_shard, payloads)
         finally:
             _PARENT_EVALUATOR = None
         by_config = {}
         for shard, results in zip(shards, shard_results):
             for config, result in zip(shard, results):
+                if isinstance(result, _ShardFault):
+                    self.fault_retries += 1
+                    result = self.evaluator._compute(config)
                 by_config[config] = result
         return [by_config[config] for config in configs]
 

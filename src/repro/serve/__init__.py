@@ -19,7 +19,14 @@ Four layers:
   the fixed backend) and reassembles the byte-exact posterior, with
   health tracking, shard re-dispatch and respawn on failure;
 * :class:`UncertaintyService` — ``await predict(images)`` →
-  :class:`PosteriorSlice`, plus operational counters.
+  :class:`PosteriorSlice`, plus operational counters and the graceful
+  degradation ladder: backpressure → per-request deadlines
+  (:class:`DeadlineExceeded`) → adaptive admission control
+  (:class:`AdmissionControl`, :class:`OverloadShedError`) → a
+  :class:`CircuitBreaker` that takes a sick replica pool out of the
+  serving path while the inline fallback carries traffic
+  (``stats()["degraded"]`` stays honest).  Deterministic fault
+  injection for all of it lives in :mod:`repro.faults`.
 
 Quickstart::
 
@@ -35,6 +42,7 @@ Correctness contract: service responses are bit-identical to direct
 the deployment's reseed contract — see ``tests/test_serve_*``.
 """
 
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.deployment import (
     DEPLOYMENT_VERSION,
     Deployment,
@@ -46,26 +54,40 @@ from repro.serve.replicas import (
     Shard,
     plan_shards,
 )
-from repro.serve.scheduler import BackpressureError, MicroBatcher
+from repro.serve.scheduler import (
+    BackpressureError,
+    DeadlineExceeded,
+    MicroBatcher,
+    OverloadShedError,
+    ServiceStoppedError,
+    ShedError,
+)
 from repro.serve.service import (
     BACKENDS,
     LATENCY_WINDOW,
+    AdmissionControl,
     PosteriorSlice,
     UncertaintyService,
 )
 
 __all__ = [
+    "AdmissionControl",
     "BACKENDS",
     "BackpressureError",
+    "CircuitBreaker",
     "DEPLOYMENT_VERSION",
+    "DeadlineExceeded",
     "Deployment",
     "DeploymentError",
     "LATENCY_WINDOW",
     "MicroBatcher",
+    "OverloadShedError",
     "PosteriorSlice",
     "ReplicaError",
     "ReplicaPool",
+    "ServiceStoppedError",
     "Shard",
+    "ShedError",
     "UncertaintyService",
     "plan_shards",
 ]

@@ -1,0 +1,116 @@
+"""Circuit breaker over the replica pool: fail fast, probe, recover.
+
+The replica pool already has a *per-shard* recovery ladder (timeout →
+re-dispatch → respawn → inline fallback), which keeps every individual
+batch correct but keeps *paying* the ladder's cost on every batch while
+the pool is sick — each fused batch waits out the shard timeout before
+falling back.  The :class:`CircuitBreaker` adds the fleet-level memory
+that ladder lacks:
+
+* ``CLOSED`` — healthy; batches route to the pool.  Each batch with
+  shard failures counts a strike, each clean batch resets the count.
+* ``OPEN`` — ``failure_threshold`` consecutive strikes trip the
+  breaker; batches bypass the pool entirely (the caller serves inline,
+  which is byte-identical by the pool's contract) until
+  ``cooldown_batches`` batches have passed.
+* ``HALF_OPEN`` — the cooldown elapsed; the next batch is a *probe*
+  routed to the pool.  A clean probe closes the breaker, a failed one
+  re-opens it (fresh cooldown).
+
+Determinism: the cooldown is measured in **batches, not seconds** — the
+state machine is a pure function of the success/failure sequence, so a
+replayed fault plan walks the breaker through the identical states.
+Callers surface ``state != "closed"`` as the honest ``degraded`` flag
+in ``stats()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.utils.validation import check_positive_int
+
+#: Breaker states (strings, not an enum, so ``stats()`` stays JSON-able).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with batch-count cooldown.
+
+    Args:
+        failure_threshold: consecutive failed batches that trip
+            ``CLOSED`` → ``OPEN``.
+        cooldown_batches: batches served elsewhere (inline) before an
+            ``OPEN`` breaker allows a half-open probe.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 cooldown_batches: int = 8) -> None:
+        check_positive_int(failure_threshold, "failure_threshold")
+        check_positive_int(cooldown_batches, "cooldown_batches")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_batches = int(cooldown_batches)
+        self.state = CLOSED
+        self._strikes = 0
+        self._cooled = 0
+        # Lifetime counters.
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+        self.short_circuited = 0
+
+    def allow(self) -> bool:
+        """Should the next batch route to the pool?
+
+        Called exactly once per fused batch.  While ``OPEN`` this also
+        advances the cooldown clock (one call == one batch) and flips
+        to ``HALF_OPEN`` when the cooldown elapses — the flip happens
+        *before* the answer, so the probe batch itself is admitted.
+        """
+        if self.state == OPEN:
+            self._cooled += 1
+            if self._cooled >= self.cooldown_batches:
+                self.state = HALF_OPEN
+            else:
+                self.short_circuited += 1
+                return False
+        if self.state == HALF_OPEN:
+            self.probes += 1
+        return True
+
+    def record(self, ok: bool) -> None:
+        """Account one pool-routed batch (clean or with shard failures)."""
+        if ok:
+            if self.state == HALF_OPEN:
+                self.recoveries += 1
+            self.state = CLOSED
+            self._strikes = 0
+            return
+        self._strikes += 1
+        if self.state == HALF_OPEN or self._strikes >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._strikes = 0
+        self._cooled = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while traffic is (or is about to be) served off-pool."""
+        return self.state != CLOSED
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+            "short_circuited": self.short_circuited,
+        }
+
+
+__all__ = ["CLOSED", "CircuitBreaker", "HALF_OPEN", "OPEN"]

@@ -50,6 +50,7 @@ from __future__ import annotations
 import mmap
 import multiprocessing
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -57,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bayes.mc import MCPrediction
+from repro.faults.runtime import SITE_REPLICA_DISPATCH, fire
 from repro.utils.validation import check_positive_int
 
 #: Shard axes, by backend: float shards Monte-Carlo passes (GEMM row
@@ -229,7 +231,7 @@ def _worker_main(conn, state: _WorkerState) -> None:
                 reply = (seq, "ok", None)
             else:
                 reply = (seq, "error", f"unknown op {op!r}")
-        except Exception as exc:  # surfaced to the parent, loop survives
+        except Exception as exc:  # repro: allow[broad-except] — surfaced to the parent, loop survives
             reply = (seq, "error", f"{type(exc).__name__}: {exc}")
         try:
             conn.send(reply)
@@ -257,8 +259,17 @@ class _ReplicaHandle:
         self.units = 0
         self.failures = 0
         self.restarts = 0
+        self.inflight = 0
+        self.peak_inflight = 0
         self.latency_last_s = 0.0
         self.latency_total_s = 0.0
+
+    def dispatched(self) -> None:
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def settled(self) -> None:
+        self.inflight = max(0, self.inflight - 1)
 
     def stats(self) -> Dict[str, object]:
         return {
@@ -269,6 +280,8 @@ class _ReplicaHandle:
             "units": self.units,
             "failures": self.failures,
             "restarts": self.restarts,
+            "queue_depth": self.inflight,
+            "peak_queue_depth": self.peak_inflight,
             "latency_last_ms": self.latency_last_s * 1e3,
             "latency_mean_ms": (self.latency_total_s / self.shards * 1e3
                                 if self.shards else 0.0),
@@ -323,6 +336,8 @@ class ReplicaPool:
         self.dispatches = 0
         self.redispatches = 0
         self.fallbacks = 0
+        self.injected_faults = 0
+        self.last_batch_failures = 0
         self.last_route: List[Shard] = []
 
         # Map the weights into shared memory *before* any fork and
@@ -387,6 +402,8 @@ class ReplicaPool:
             "dispatches": self.dispatches,
             "redispatches": self.redispatches,
             "fallbacks": self.fallbacks,
+            "injected_faults": self.injected_faults,
+            "last_batch_failures": self.last_batch_failures,
             "workers": [handle.stats() for handle in self._handles],
         }
 
@@ -454,6 +471,7 @@ class ReplicaPool:
         """Reap a failed worker and fork a replacement into its slot."""
         handle.alive = False
         handle.failures += 1
+        handle.inflight = 0  # the replacement starts with an empty queue
         if handle.conn is not None:
             try:
                 handle.conn.close()
@@ -542,6 +560,7 @@ class ReplicaPool:
         healthy = [h for h in self._handles if h.alive]
         if not self._running or not healthy:
             self.fallbacks += 1
+            self.last_batch_failures = len(self._handles)
             self.last_route = []
             return self._predict_inline(images, num_samples)
         shards = plan_shards(self.axis, rows, num_samples,
@@ -550,9 +569,15 @@ class ReplicaPool:
         by_index = {h.index: h for h in self._handles}
 
         # Fan out: one shard per routed replica, all in flight at once.
+        # The fault hook fires once per dispatch — parent-side, so an
+        # injected kill/wedge/slow perturbs the worker *before* its
+        # shard lands and the recovery ladder below is what's on trial.
         inflight, failed = [], []
         for shard in shards:
             handle = by_index[shard.replica]
+            event = fire(SITE_REPLICA_DISPATCH)
+            if event is not None:
+                self._inject(event, handle)
             sent_at = time.monotonic()
             try:
                 seq = self._send(handle, "predict",
@@ -563,6 +588,7 @@ class ReplicaPool:
                 failed.append(shard)
                 continue
             self.dispatches += 1
+            handle.dispatched()
             inflight.append((shard, handle, seq, sent_at))
 
         # Collect; a dead/wedged replica fails only its own shard.
@@ -575,13 +601,37 @@ class ReplicaPool:
                 self._retire(handle)
                 failed.append(shard)
                 continue
+            handle.settled()
             self._account(handle, shard, time.monotonic() - sent_at)
             parts[(shard.start, shard.stop)] = result
 
+        self.last_batch_failures = len(failed)
         for shard in failed:
             parts[(shard.start, shard.stop)] = self._redispatch(
                 shard, images, num_samples, rows)
         return self._assemble(parts, rows, num_samples)
+
+    def _inject(self, event, handle: _ReplicaHandle) -> None:
+        """Apply one planned fault to the dispatch target (parent side).
+
+        ``kill`` SIGKILLs the worker (its shard surfaces as EOF and
+        walks the retire → re-dispatch ladder); ``wedge``/``slow`` post
+        a sleep op ahead of the shard, so the reply is late by
+        ``param`` seconds — past the shard timeout for a wedge, within
+        it for a slow reply.
+        """
+        self.injected_faults += 1
+        if event.kind == "kill":
+            if handle.pid is not None:
+                try:
+                    os.kill(handle.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+        elif event.kind in ("wedge", "slow"):
+            try:
+                self._send(handle, "wedge", float(event.param))
+            except ReplicaError:
+                pass  # already dead: the dispatch path will notice
 
     # -- helpers -------------------------------------------------------
     def _payload(self, shard: Shard, images: np.ndarray) -> np.ndarray:
@@ -615,11 +665,13 @@ class ReplicaPool:
                 seq = self._send(handle, "predict",
                                  self._payload(shard, images), num_samples,
                                  shard.start, shard.stop, rows)
+                handle.dispatched()
                 result = self._collect(handle, seq,
                                        sent_at + self.timeout_s)
             except ReplicaError:
                 self._retire(handle)
                 continue
+            handle.settled()
             self._account(handle, shard, time.monotonic() - sent_at)
             return result
         self.fallbacks += 1

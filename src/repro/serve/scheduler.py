@@ -50,8 +50,34 @@ import numpy as np
 from repro.utils.validation import check_positive_int
 
 
-class BackpressureError(RuntimeError):
+class ShedError(RuntimeError):
+    """Base of every deliberate load-shedding rejection.
+
+    The degradation ladder sheds in four distinct ways —
+    :class:`BackpressureError` (queue full, retry soon),
+    :class:`DeadlineExceeded` (the caller's budget expired while
+    queued), :class:`OverloadShedError` (admission control bounced the
+    request before it queued), :class:`ServiceStoppedError` (the
+    service is stopped or stopping) — and each is a different operator
+    signal, so each has its own type and its own counter.  Callers that
+    only care about "was this shed, not failed" catch this base.
+    """
+
+
+class BackpressureError(ShedError):
     """The bounded request queue cannot admit this request right now."""
+
+
+class DeadlineExceeded(ShedError):
+    """The request's deadline budget expired before it was dispatched."""
+
+
+class OverloadShedError(ShedError):
+    """Admission control shed this request (queue/latency pressure)."""
+
+
+class ServiceStoppedError(ShedError):
+    """The service is stopped (or stopping) and will not serve this."""
 
 
 def _slice_rows(result: Any, start: int, stop: int) -> Any:
@@ -60,16 +86,18 @@ def _slice_rows(result: Any, start: int, stop: int) -> Any:
 
 
 class _Pending:
-    """One queued request: payload, row count, future, arrival time."""
+    """One queued request: payload, rows, future, arrival, deadline."""
 
-    __slots__ = ("payload", "rows", "future", "arrival")
+    __slots__ = ("payload", "rows", "future", "arrival", "deadline")
 
     def __init__(self, payload: np.ndarray, rows: int,
-                 future: "asyncio.Future", arrival: float) -> None:
+                 future: "asyncio.Future", arrival: float,
+                 deadline: Optional[float] = None) -> None:
         self.payload = payload
         self.rows = rows
         self.future = future
         self.arrival = arrival
+        self.deadline = deadline  # absolute loop time, or None
 
 
 class MicroBatcher:
@@ -91,10 +119,11 @@ class MicroBatcher:
 
     Requests may be submitted before :meth:`start`; they queue and are
     served once the drain task runs.  Counters (``requests``, ``rows``,
-    ``batches``, ``batched_rows``, ``rejected``, ``rejected_stopped``)
-    accumulate for the batcher's lifetime; backpressure bounces and
-    stopped-batcher bounces are counted separately so drain-time shed
-    load stays visible.
+    ``batches``, ``batched_rows``, ``rejected``, ``rejected_stopped``,
+    ``shed_deadline``, ``shed_stopped``) accumulate for the batcher's
+    lifetime; each distinct way of shedding load has its own counter so
+    operators can tell backpressure from deadline expiry from shutdown
+    shed (see :class:`ShedError`).
     """
 
     def __init__(self, predict_fn: Callable[[np.ndarray], Any], *,
@@ -128,6 +157,8 @@ class MicroBatcher:
         self.batched_rows = 0
         self.rejected = 0
         self.rejected_stopped = 0
+        self.shed_deadline = 0
+        self.shed_stopped = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,23 +183,36 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, payload: np.ndarray) -> Any:
+    async def submit(self, payload: np.ndarray, *,
+                     deadline_s: Optional[float] = None) -> Any:
         """Queue one request and await its slice of the fused result.
+
+        Args:
+            payload: the request rows.
+            deadline_s: optional per-request budget in seconds.  A
+                request whose budget expires while still queued is shed
+                with :class:`DeadlineExceeded` at batch-pop time — it
+                stops occupying queue rows and never reaches the
+                predict function.
 
         Raises:
             BackpressureError: the bounded queue is full (or the
                 request alone exceeds it).
-            RuntimeError: the batcher has been stopped.
+            DeadlineExceeded: the deadline passed before dispatch.
+            ServiceStoppedError: the batcher has been stopped.
         """
         if self._stopping:
             # Shed load is shed load: requests bounced during a drain
             # count too (``rejected_stopped``), or stats would
             # undercount exactly when operators watch a restart.
             self.rejected_stopped += 1
-            raise RuntimeError("batcher is stopped")
+            raise ServiceStoppedError("batcher is stopped")
         rows = int(payload.shape[0])
         if rows <= 0:
             raise ValueError("request payload must have at least one row")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0 seconds, got {deadline_s}")
         if self._queued_rows + rows > self.max_queue_rows:
             self.rejected += 1
             raise BackpressureError(
@@ -176,8 +220,10 @@ class MicroBatcher:
                 f"of {rows} exceeds max_queue_rows={self.max_queue_rows}")
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
+        arrival = loop.time()
+        deadline = None if deadline_s is None else arrival + deadline_s
         self._pending.append(
-            _Pending(payload, rows, future, loop.time()))
+            _Pending(payload, rows, future, arrival, deadline))
         self._queued_rows += rows
         self.requests += 1
         self.rows += rows
@@ -195,20 +241,40 @@ class MicroBatcher:
             self._drain_task = asyncio.get_running_loop().create_task(
                 self._drain_loop())
 
-    async def stop(self) -> None:
-        """Flush queued requests, then stop the drain task.
+    async def stop(self, *, flush: bool = True) -> None:
+        """Stop the drain task and resolve every queued future.
 
-        Also flushes when the batcher was never started: requests may
-        queue before :meth:`start`, and leaving their futures forever
-        unresolved would hang the submitters.
+        With ``flush=True`` (default) queued requests are *served* —
+        fused and dispatched through the predict function one last
+        time.  With ``flush=False`` they are *shed*: each still-queued
+        future fails with :class:`ServiceStoppedError` (counted in
+        ``shed_stopped``, distinct from the ``rejected_stopped``
+        bounces of post-stop submissions) — a fast shutdown that never
+        touches the possibly-degraded predict path.
+
+        Either way every future resolves, including when the batcher
+        was never started: requests may queue before :meth:`start`, and
+        leaving their futures forever unresolved would hang the
+        submitters.
         """
         self._stopping = True
         self._event().set()
         if self._drain_task is not None:
             await self._drain_task
             self._drain_task = None
-        while self._pending:
-            self._dispatch(self._pop_batch())
+        if flush:
+            while self._pending:
+                batch = self._pop_batch()
+                if batch:
+                    self._dispatch(batch)
+        else:
+            while self._pending:
+                request = self._pending.popleft()
+                self._queued_rows -= request.rows
+                self.shed_stopped += 1
+                if not request.future.done():
+                    request.future.set_exception(ServiceStoppedError(
+                        "service stopped before this request was served"))
 
     async def __aenter__(self) -> "MicroBatcher":
         await self.start()
@@ -223,11 +289,16 @@ class MicroBatcher:
     async def _drain_loop(self) -> None:
         while True:
             await self._wait_for_batch()
+            if self._stopping:
+                # Leave still-queued requests to stop(): it either
+                # flushes them (one last dispatch) or sheds them —
+                # dispatching here would race the shed path.
+                return
             if not self._pending:
-                if self._stopping:
-                    return
                 continue
-            self._dispatch(self._pop_batch())
+            batch = self._pop_batch()
+            if batch:  # may be empty if every queued request expired
+                self._dispatch(batch)
 
     async def _wait_for_batch(self) -> None:
         """Block until a batch should be dispatched (or we are stopping).
@@ -256,11 +327,30 @@ class MicroBatcher:
                 return
 
     def _pop_batch(self) -> List[_Pending]:
-        """Dequeue the next fused batch (FIFO, atomic requests)."""
+        """Dequeue the next fused batch (FIFO, atomic requests).
+
+        Requests whose deadline has already passed are shed here with
+        :class:`DeadlineExceeded` instead of riding (or blocking) the
+        batch: serving them would spend a fused pass on an answer the
+        caller has stopped waiting for.
+        """
         batch: List[_Pending] = []
         batch_rows = 0
+        now: Optional[float] = None
         while self._pending:
             nxt = self._pending[0]
+            if nxt.deadline is not None:
+                if now is None:
+                    now = asyncio.get_running_loop().time()
+                if now >= nxt.deadline:
+                    self._pending.popleft()
+                    self._queued_rows -= nxt.rows
+                    self.shed_deadline += 1
+                    if not nxt.future.done():
+                        nxt.future.set_exception(DeadlineExceeded(
+                            f"request deadline expired after queueing "
+                            f"{now - nxt.arrival:.3f}s"))
+                    continue
             if batch and batch_rows + nxt.rows > self.max_batch_rows:
                 break
             self._pending.popleft()
@@ -292,7 +382,7 @@ class MicroBatcher:
                 slices.append(
                     self.slice_fn(result, offset, offset + request.rows))
                 offset += request.rows
-        except Exception as exc:
+        except Exception as exc:  # repro: allow[broad-except] — must survive any user callable
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
@@ -302,4 +392,5 @@ class MicroBatcher:
                 request.future.set_result(part)
 
 
-__all__ = ["BackpressureError", "MicroBatcher"]
+__all__ = ["BackpressureError", "DeadlineExceeded", "MicroBatcher",
+           "OverloadShedError", "ServiceStoppedError", "ShedError"]

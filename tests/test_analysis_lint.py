@@ -231,6 +231,89 @@ class TestFingerprintSort:
 
 
 # ----------------------------------------------------------------------
+# broad-except
+# ----------------------------------------------------------------------
+class TestBroadExcept:
+    RECOVERY = "src/repro/serve/replicas.py"
+
+    def test_bare_except_flagged(self):
+        found = findings("""
+            try:
+                x = 1
+            except:
+                pass
+        """, self.RECOVERY)
+        assert rules_of(found) == ["broad-except"]
+
+    def test_except_exception_flagged(self):
+        found = findings("""
+            try:
+                x = 1
+            except Exception:
+                pass
+        """, self.RECOVERY)
+        assert rules_of(found) == ["broad-except"]
+
+    def test_except_base_exception_flagged(self):
+        found = findings("""
+            try:
+                x = 1
+            except BaseException as exc:
+                raise exc
+        """, self.RECOVERY)
+        assert rules_of(found) == ["broad-except"]
+
+    def test_broad_type_inside_tuple_flagged(self):
+        found = findings("""
+            try:
+                x = 1
+            except (ValueError, Exception):
+                pass
+        """, self.RECOVERY)
+        assert rules_of(found) == ["broad-except"]
+
+    def test_narrow_handlers_clean(self):
+        assert not findings("""
+            try:
+                x = 1
+            except (OSError, ValueError):
+                pass
+            except KeyError:
+                pass
+        """, self.RECOVERY)
+
+    def test_allow_annotation_suppresses(self):
+        assert not findings("""
+            try:
+                x = 1
+            except Exception:  # repro: allow[broad-except] — reported upstream
+                pass
+        """, self.RECOVERY)
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/serve/service.py",
+        "src/repro/search/parallel.py",
+        "src/repro/faults/plan.py",
+    ])
+    def test_fires_across_recovery_modules(self, path):
+        found = findings("""
+            try:
+                x = 1
+            except Exception:
+                pass
+        """, path)
+        assert rules_of(found) == ["broad-except"]
+
+    def test_silent_outside_recovery_modules(self):
+        assert not findings("""
+            try:
+                x = 1
+            except Exception:
+                pass
+        """, NEUTRAL)
+
+
+# ----------------------------------------------------------------------
 # suppression syntax + mechanics
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -270,7 +353,7 @@ class TestPlumbing:
         assert set(RULES) == {
             "unseeded-rng", "wallclock-entropy", "set-iteration",
             "unordered-float-sum", "fork-shared-mutation",
-            "fingerprint-sort"}
+            "fingerprint-sort", "broad-except"}
 
     def test_findings_sorted_and_rendered(self):
         found = findings("""

@@ -1,0 +1,214 @@
+"""Torn-write recovery: every byte boundary, every artifact kind.
+
+The robustness contract of :mod:`repro.api.artifacts`: a write torn at
+*any* byte boundary — truncation or trailing corruption — must degrade
+to a miss on read.  ``try_load_json`` / ``try_load_state`` return
+``None``, ``EvaluationCache.get`` returns ``None``, and the strict
+loaders raise :class:`ArtifactError`; no raw ``json``/``zipfile``/
+``numpy`` exception ever escapes and no partial or stale payload is
+ever surfaced.
+
+The sweep is exhaustive rather than sampled: artifacts here are small
+(hundreds of bytes), so truncating at *every* prefix length is cheap
+and leaves no untested boundary (the JSON-prefix-that-still-parses and
+zip-central-directory edge cases live at specific offsets).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api.artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    EvaluationCache,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.runtime import (
+    SITE_ARTIFACT_WRITE,
+    SITE_CACHE_WRITE,
+    injected,
+)
+
+
+def _truncate(path, size):
+    with open(path, "rb") as fh:
+        payload = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(payload[:size])
+    return len(payload)
+
+
+def _read_size(path):
+    return os.path.getsize(path)
+
+
+class TestTornJsonArtifacts:
+    def test_every_truncation_boundary_degrades_to_miss(self, tmp_path):
+        # The invariant: a truncated artifact reads as a miss or as the
+        # complete payload (losing only trailing whitespace keeps the
+        # JSON whole) — never as partial or mangled data.
+        store = ArtifactStore(str(tmp_path))
+        payload = {"value": 42, "items": [1, 2, 3]}
+        path = store.save_json("doc", payload)
+        total = _read_size(path)
+        misses = 0
+        for size in range(total):
+            store.save_json("doc", payload)
+            _truncate(path, size)
+            loaded = store.try_load_json("doc")
+            assert loaded is None or loaded == payload, (
+                f"truncation at byte {size}/{total} surfaced "
+                f"partial data: {loaded!r}")
+            if loaded is None:
+                misses += 1
+                with pytest.raises(ArtifactError):
+                    store.load_json("doc")
+        # Sanity: the sweep actually exercised corrupt reads — only the
+        # final trailing-whitespace boundaries can still parse whole.
+        assert misses >= total - 2
+
+    def test_trailing_corruption_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        path = store.save_json("doc", {"value": 1})
+        with open(path, "ab") as fh:
+            fh.write(b"{torn trailing garbage")
+        assert store.try_load_json("doc") is None
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.load_json("doc")
+
+    def test_valid_json_with_wrong_envelope_is_a_miss(self, tmp_path):
+        # A torn write can leave a well-formed but envelope-less JSON
+        # prefix in principle; the envelope check catches anything that
+        # parses yet isn't a complete artifact.
+        store = ArtifactStore(str(tmp_path))
+        path = store.path("doc.json")
+        os.makedirs(store.root, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"payload": 1}')  # no version field
+        assert store.try_load_json("doc") is None
+        with pytest.raises(ArtifactError, match="envelope"):
+            store.load_json("doc")
+
+    def test_absent_is_indistinguishable_from_torn(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.try_load_json("never-written") is None
+
+
+class TestTornStateArtifacts:
+    def test_every_truncation_boundary_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        state = {"w": np.arange(12, dtype=np.float32).reshape(3, 4),
+                 "b": np.ones(3, dtype=np.float32)}
+        path = store.save_state("weights", state)
+        total = _read_size(path)
+        # Every prefix of an .npz container: covers the magic bytes,
+        # member headers, payload bytes and the zip central directory.
+        for size in range(total):
+            store.save_state("weights", state)
+            _truncate(path, size)
+            assert store.try_load_state("weights") is None, (
+                f"truncation at byte {size}/{total} surfaced arrays")
+            with pytest.raises(ArtifactError):
+                store.load_state("weights")
+
+    def test_intact_state_round_trips(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        state = {"w": np.arange(6, dtype=np.float64)}
+        store.save_state("weights", state)
+        loaded = store.try_load_state("weights")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_absent_state_raises_and_try_returns_none(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.try_load_state("ghost") is None
+        with pytest.raises(ArtifactError, match="not found"):
+            store.load_state("ghost")
+
+
+class TestTornCacheEntries:
+    CONTEXT = "ctx-fingerprint"
+    NAME = "B,K,M"
+
+    def test_every_truncation_boundary_is_a_miss(self, tmp_path):
+        cache = EvaluationCache(str(tmp_path))
+        payload = {"score": 0.5, "latency_ms": 1.25}
+        path = cache.put(self.CONTEXT, self.NAME, payload)
+        total = _read_size(path)
+        misses = 0
+        for size in range(total):
+            cache.put(self.CONTEXT, self.NAME, payload)
+            _truncate(path, size)
+            loaded = cache.get(self.CONTEXT, self.NAME)
+            assert loaded is None or loaded == payload, (
+                f"truncation at byte {size}/{total} surfaced a "
+                f"partial entry: {loaded!r}")
+            misses += loaded is None
+        assert misses >= total - 2
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # A file landing under the wrong hash (torn rename, manual
+        # tampering) must not satisfy a different key.
+        cache = EvaluationCache(str(tmp_path))
+        source = cache.put(self.CONTEXT, self.NAME, {"score": 1.0})
+        target = cache.path(self.CONTEXT, "other-config")
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        with open(source, "rb") as src, open(target, "wb") as dst:
+            dst.write(src.read())
+        assert cache.get(self.CONTEXT, "other-config") is None
+        assert cache.get(self.CONTEXT, self.NAME) == {"score": 1.0}
+
+
+class TestInjectedTornWrites:
+    """The fault hooks produce exactly the corruption the readers heal."""
+
+    def plan(self, site, fraction):
+        return FaultPlan(events=(
+            FaultEvent(site, 0, "torn_write", fraction),))
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.9])
+    def test_torn_json_write_heals_to_recompute(self, tmp_path, fraction):
+        store = ArtifactStore(str(tmp_path))
+        plan = self.plan(SITE_ARTIFACT_WRITE, fraction)
+        with injected(plan.injector()):
+            store.save_json("doc", {"value": 7})
+        assert store.has("doc")  # the torn file exists...
+        assert store.try_load_json("doc") is None  # ...but reads miss
+        # The recompute-and-rewrite path heals it.
+        store.save_json("doc", {"value": 7})
+        assert store.try_load_json("doc") == {"value": 7}
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5])
+    def test_torn_state_write_heals_to_retrain(self, tmp_path, fraction):
+        store = ArtifactStore(str(tmp_path))
+        state = {"w": np.zeros(4, dtype=np.float32)}
+        plan = self.plan(SITE_ARTIFACT_WRITE, fraction)
+        with injected(plan.injector()):
+            store.save_state("weights", state)
+        assert store.try_load_state("weights") is None
+        store.save_state("weights", state)
+        assert store.try_load_state("weights") is not None
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.75])
+    def test_torn_cache_put_degrades_to_reevaluation(self, tmp_path,
+                                                     fraction):
+        cache = EvaluationCache(str(tmp_path))
+        plan = self.plan(SITE_CACHE_WRITE, fraction)
+        with injected(plan.injector()):
+            cache.put("ctx", "cand", {"score": 0.9})
+        assert cache.get("ctx", "cand") is None
+        cache.put("ctx", "cand", {"score": 0.9})
+        assert cache.get("ctx", "cand") == {"score": 0.9}
+
+    def test_only_scheduled_visit_tears(self, tmp_path):
+        # Visit 1 tears; visit 0 publishes whole.
+        store = ArtifactStore(str(tmp_path))
+        plan = FaultPlan(events=(
+            FaultEvent(SITE_ARTIFACT_WRITE, 1, "torn_write", 0.5),))
+        with injected(plan.injector()):
+            store.save_json("first", {"n": 0})
+            store.save_json("second", {"n": 1})
+        assert store.try_load_json("first") == {"n": 0}
+        assert store.try_load_json("second") is None
